@@ -1,0 +1,59 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench binary prints the rows/series of one paper figure. Dataset and
+// model sizes are scaled for a CPU-only box (all knobs are constants at the
+// top of each bench and recorded in EXPERIMENTS.md); the claims under test
+// are *shapes and ratios*, not absolute seconds.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "datagen/bragg.hpp"
+#include "util/rng.hpp"
+
+namespace fairdms::bench {
+
+inline void print_header(const std::string& figure,
+                         const std::string& description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), description.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void print_footer(const std::string& takeaway) {
+  std::printf("--------------------------------------------------------------\n");
+  std::printf("takeaway: %s\n\n", takeaway.c_str());
+}
+
+/// Column-formatted row printing: print_row("a", 1.5, 2) etc.
+inline void print_cell(const char* v) { std::printf("%16s", v); }
+inline void print_cell(const std::string& v) { std::printf("%16s", v.c_str()); }
+inline void print_cell(double v) { std::printf("%16.6g", v); }
+inline void print_cell(float v) { std::printf("%16.6g", static_cast<double>(v)); }
+inline void print_cell(int v) { std::printf("%16d", v); }
+inline void print_cell(std::size_t v) {
+  std::printf("%16zu", v);
+}
+
+template <typename... Cells>
+void print_row(const Cells&... cells) {
+  (print_cell(cells), ...);
+  std::printf("\n");
+}
+
+/// Standard HEDM timeline used across the Bragg figures: smooth drift with
+/// one deformation event (the paper's "sample deformation around scan 444",
+/// rescaled onto a short timeline).
+inline datagen::HedmTimeline standard_timeline(std::size_t n_scans,
+                                               std::size_t deformation_scan) {
+  datagen::HedmTimelineConfig config;
+  config.n_scans = n_scans;
+  config.drift_per_scan = 0.004;
+  config.deformation_scans = {deformation_scan};
+  config.deformation_jump = 0.5;
+  return datagen::HedmTimeline(config);
+}
+
+}  // namespace fairdms::bench

@@ -1,0 +1,78 @@
+// Figure 11: prediction error vs JSD dataset distance for CookieNetAE over
+// a *gradually drifting* CookieBox timeline — the monotone counterpart of
+// Fig. 10.
+#include <cstdio>
+
+#include "datagen/cookiebox.hpp"
+#include "nn/loss.hpp"
+#include "util/stats.hpp"
+#include "zoo_common.hpp"
+
+namespace {
+constexpr std::size_t kZooModels = 6;
+constexpr std::size_t kEvalSamples = 48;
+constexpr std::uint64_t kSeed = 1111;
+}  // namespace
+
+int main() {
+  using namespace fairdms;
+  bench::print_header("Fig. 11",
+                      "CookieNetAE: prediction error vs JSD dataset distance "
+                      "(gradual drift)");
+
+  datagen::CookieBoxTimelineConfig timeline_config;
+  timeline_config.n_steps = 24;
+  timeline_config.center_drift_per_step = 0.008;
+  timeline_config.phase_drift_per_step = 0.05;
+  const datagen::CookieBoxTimeline timeline(timeline_config);
+  datagen::CookieBoxConfig data_config;  // 32x32
+  // Low-dose histograms: denoising then leans on regime-specific priors,
+  // which is what makes foundation choice matter.
+  data_config.counts_per_row = 60.0;
+
+  bench::ZooSpec spec;
+  spec.architecture = "cookienetae";
+  spec.image_size = 32;
+  spec.samples_per_dataset = 64;
+  spec.zoo_train_epochs = 12;
+  spec.n_clusters = 10;
+  spec.learning_rate = 5e-4;
+  spec.seed = kSeed;
+  // Zoo model i trains on timeline step 3*i (steps 0,3,6,9,12,15).
+  auto harness = bench::build_zoo(
+      spec, kZooModels, [&](std::size_t i, std::size_t n) {
+        return timeline.dataset_at(3 * i, n, kSeed, data_config);
+      });
+
+  const std::size_t test_steps[4] = {2, 7, 11, 14};
+  std::vector<double> all_jsd, all_err;
+  for (const std::size_t step : test_steps) {
+    const nn::Batchset test =
+        timeline.dataset_at(step, kEvalSamples, kSeed + 77, data_config);
+    const auto pdf = harness.ds->distribution(test.xs);
+    std::printf("\ntest dataset @ timeline step %zu\n", step);
+    bench::print_row("zoo_model", "jsd_distance", "error_1e3");
+    std::vector<double> jsds, errs;
+    for (std::size_t m = 0; m < kZooModels; ++m) {
+      const auto record = harness.zoo->fetch(harness.model_ids[m]);
+      const double jsd =
+          fairms::jensen_shannon_divergence(pdf, record->train_pdf);
+      auto model = bench::materialize(harness, harness.model_ids[m], spec);
+      const nn::Tensor pred = model.net.forward(test.xs, nn::Mode::kEval);
+      const double err = nn::mse_loss(pred, test.ys).value * 1e3;
+      bench::print_row(m, jsd, err);
+      jsds.push_back(jsd);
+      errs.push_back(err);
+      all_jsd.push_back(jsd);
+      all_err.push_back(err);
+    }
+    std::printf("    dataset Pearson(error, jsd) = %.3f\n",
+                util::pearson(jsds, errs));
+  }
+  std::printf("\noverall Pearson(error, jsd) = %.3f over %zu points\n",
+              util::pearson(all_jsd, all_err), all_jsd.size());
+  bench::print_footer(
+      "with gradual drift the relationship is near-monotone: the closest "
+      "dataset's model predicts best, exactly what fairMS exploits");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 13: CookieNetAE learning curves — validation error vs epoch for
+// training from scratch (Retrain) vs fine-tuning the Best / Median / Worst
+// fairMS-recommended foundation, on test datasets from a drifting CookieBox
+// timeline.
+#include <cstdio>
+
+#include "curves_common.hpp"
+#include "datagen/cookiebox.hpp"
+
+namespace {
+constexpr std::size_t kZooModels = 5;
+constexpr std::size_t kEpochs = 25;
+constexpr double kTarget = 1.0e-3;
+constexpr std::uint64_t kSeed = 1313;
+}  // namespace
+
+int main() {
+  using namespace fairdms;
+  bench::print_header("Fig. 13",
+                      "CookieNetAE learning curves: Retrain vs "
+                      "FineTune-B/M/W");
+
+  datagen::CookieBoxTimelineConfig timeline_config;
+  timeline_config.n_steps = 24;
+  timeline_config.center_drift_per_step = 0.008;
+  timeline_config.phase_drift_per_step = 0.05;
+  const datagen::CookieBoxTimeline timeline(timeline_config);
+  datagen::CookieBoxConfig data_config;
+  data_config.counts_per_row = 60.0;  // low dose (see Fig. 11 rationale)
+
+  bench::ZooSpec spec;
+  spec.architecture = "cookienetae";
+  spec.image_size = 32;
+  spec.samples_per_dataset = 96;
+  spec.zoo_train_epochs = 15;
+  spec.n_clusters = 6;
+  spec.learning_rate = 1.5e-3;
+  spec.seed = kSeed;
+  auto harness = bench::build_zoo(
+      spec, kZooModels, [&](std::size_t i, std::size_t n) {
+        return timeline.dataset_at(4 * i, n, kSeed, data_config);
+      });
+
+  const std::size_t test_steps[2] = {4, 13};
+  for (const std::size_t step : test_steps) {
+    const nn::Batchset train =
+        timeline.dataset_at(step, 64, kSeed + 5, data_config);
+    const nn::Batchset val =
+        timeline.dataset_at(step, 32, kSeed + 6, data_config);
+    std::printf("\ntest dataset @ timeline step %zu\n", step);
+    const auto result = bench::run_curves(harness, spec, train, val, kEpochs,
+                                          kTarget, /*fine_tune_lr=*/1e-3);
+    bench::print_curves(result, kEpochs, kTarget);
+  }
+  bench::print_footer(
+      "FineTune-B starts near-converged and reaches the target within a few "
+      "epochs; Retrain needs the full schedule — fairMS's recommendation is "
+      "what makes rapid updating possible");
+  return 0;
+}

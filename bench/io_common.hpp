@@ -1,0 +1,149 @@
+// Shared harness for the storage-system figures (Figs. 6, 7, 8).
+//
+// Reproduces both panels per dataset:
+//  (a) training epoch time vs batch size, for MongoDB+Blosc, MongoDB+Pickle
+//      and NFS storage (remote link modeled in both cases);
+//  (b) I/O wall-time per iteration vs DataLoader worker count (fetch-only
+//      drain: what the training loop would wait on without prefetch overlap).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "models/models.hpp"
+#include "nn/loss.hpp"
+#include "nn/optim.hpp"
+#include "store/dataloader.hpp"
+#include "util/timer.hpp"
+
+namespace fairdms::bench {
+
+struct IoBenchSpec {
+  std::string figure;
+  std::string title;
+  nn::Batchset data;
+  std::function<models::TaskModel()> model_factory;
+  std::vector<std::size_t> batch_sizes;   ///< epoch-time sweep (panel a)
+  std::vector<std::size_t> worker_counts; ///< I/O sweep (panel b)
+  std::size_t epoch_workers = 4;          ///< paper: 50 I/O threads
+  std::size_t io_batch = 32;              ///< paper: fixed batch 512
+  std::string nfs_root;
+};
+
+inline store::RemoteLinkConfig remote_100gbe() {
+  // 100 GbE with RPC overhead: ~120us round trip, ~50 Gb/s effective.
+  return store::RemoteLinkConfig{.latency_seconds = 120e-6,
+                                 .bandwidth_bytes_per_s = 6e9};
+}
+
+struct StorageSetup {
+  std::string name;
+  std::unique_ptr<store::DocStore> db;      // null for NFS
+  std::unique_ptr<store::NfsStore> nfs;     // null for Mongo
+  std::unique_ptr<store::Dataset> dataset;
+};
+
+inline std::vector<StorageSetup> build_storages(const IoBenchSpec& spec) {
+  std::vector<StorageSetup> out;
+  for (const char* codec : {"blosc", "pickle"}) {
+    StorageSetup s;
+    s.name = std::string("Mongo+") + codec;
+    s.db = std::make_unique<store::DocStore>(remote_100gbe());
+    s.dataset =
+        store::MongoDataset::ingest(s.db->collection("train"), spec.data,
+                                    codec);
+    out.push_back(std::move(s));
+  }
+  StorageSetup nfs;
+  nfs.name = "NFS";
+  nfs.nfs = std::make_unique<store::NfsStore>(spec.nfs_root, remote_100gbe());
+  nfs.nfs->write_dataset("train", spec.data);
+  nfs.dataset = std::make_unique<store::NfsDataset>(*nfs.nfs, "train");
+  out.push_back(std::move(nfs));
+  return out;
+}
+
+/// One training epoch through the DataLoader; returns wall seconds.
+inline double train_epoch(store::Dataset& dataset, models::TaskModel& model,
+                          std::size_t batch_size, std::size_t workers,
+                          double* stall_seconds = nullptr) {
+  store::LoaderConfig config;
+  config.batch_size = batch_size;
+  config.workers = workers;
+  config.prefetch_batches = 4;
+  config.seed = 7;
+  store::DataLoader loader(dataset, config);
+  nn::Adam opt(model.net, 1e-3);
+
+  util::WallTimer timer;
+  loader.start_epoch(0);
+  while (auto batch = loader.next()) {
+    opt.zero_grad();
+    const nn::Tensor pred = model.net.forward(batch->xs, nn::Mode::kTrain);
+    const nn::LossResult loss = nn::mse_loss(pred, batch->ys);
+    model.net.backward(loss.grad);
+    opt.step();
+  }
+  if (stall_seconds != nullptr) *stall_seconds = loader.stall_seconds();
+  return timer.seconds();
+}
+
+/// Fetch-only drain; returns wall milliseconds per iteration.
+inline double drain_ms_per_iter(store::Dataset& dataset,
+                                std::size_t batch_size, std::size_t workers) {
+  store::LoaderConfig config;
+  config.batch_size = batch_size;
+  config.workers = workers;
+  config.prefetch_batches = 4;
+  config.seed = 7;
+  store::DataLoader loader(dataset, config);
+  util::WallTimer timer;
+  loader.start_epoch(0);
+  std::size_t iters = 0;
+  while (loader.next()) ++iters;
+  return timer.millis() / static_cast<double>(iters == 0 ? 1 : iters);
+}
+
+inline void run_io_bench(IoBenchSpec spec) {
+  print_header(spec.figure, spec.title);
+  auto storages = build_storages(spec);
+  const std::size_t n = spec.data.size();
+  std::size_t sample_bytes = 4;
+  for (std::size_t a = 1; a < spec.data.xs.rank(); ++a) {
+    sample_bytes *= spec.data.xs.dim(a);
+  }
+  std::printf("samples=%zu  bytes/sample=%zu  (remote link: 120us RTT, "
+              "~50Gb/s)\n\n",
+              n, sample_bytes);
+
+  std::printf("(a) training epoch time [s] vs batch size (%zu workers)\n",
+              spec.epoch_workers);
+  print_row("batch", "Mongo+blosc", "Mongo+pickle", "NFS");
+  for (std::size_t batch : spec.batch_sizes) {
+    std::vector<double> times;
+    for (auto& storage : storages) {
+      auto model = spec.model_factory();
+      times.push_back(train_epoch(*storage.dataset, model, batch,
+                                  spec.epoch_workers));
+    }
+    print_row(batch, times[0], times[1], times[2]);
+  }
+
+  std::printf("\n(b) I/O wall time [ms] per iteration vs workers "
+              "(batch %zu, fetch-only)\n",
+              spec.io_batch);
+  print_row("workers", "Mongo+blosc", "Mongo+pickle", "NFS");
+  for (std::size_t workers : spec.worker_counts) {
+    std::vector<double> times;
+    for (auto& storage : storages) {
+      times.push_back(
+          drain_ms_per_iter(*storage.dataset, spec.io_batch, workers));
+    }
+    print_row(workers, times[0], times[1], times[2]);
+  }
+}
+
+}  // namespace fairdms::bench

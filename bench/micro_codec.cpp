@@ -1,0 +1,63 @@
+// Microbenchmarks: serialization codecs (google-benchmark). Quantifies the
+// cost hierarchy Figs. 6-8 depend on: raw < blosc < pickle on decode, and
+// blosc's compression win on smooth image payloads.
+#include <benchmark/benchmark.h>
+
+#include "datagen/tomography.hpp"
+#include "store/codec.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace fairdms;
+
+std::vector<float> payload(std::size_t n) {
+  // Smooth-ish phantom content when square, noise otherwise.
+  util::Rng rng(n * 7919);
+  std::vector<float> values(n);
+  if (n == 96 * 96) {
+    datagen::TomoConfig config;
+    config.size = 96;
+    datagen::render_phantom(config, rng, values);
+  } else {
+    for (auto& v : values) {
+      v = rng.uniform() < 0.4 ? 0.0f
+                              : static_cast<float>(rng.gaussian(0.0, 1.0));
+    }
+  }
+  return values;
+}
+
+void BM_Encode(benchmark::State& state, const std::string& codec_name) {
+  const auto codec = store::make_codec(codec_name);
+  const auto values = payload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec->encode(values));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(values.size() * 4));
+}
+
+void BM_Decode(benchmark::State& state, const std::string& codec_name) {
+  const auto codec = store::make_codec(codec_name);
+  const auto values = payload(static_cast<std::size_t>(state.range(0)));
+  const auto bytes = codec->encode(values);
+  std::vector<float> out;
+  for (auto _ : state) {
+    codec->decode(bytes, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(values.size() * 4));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Encode, raw, "raw")->Arg(225)->Arg(96 * 96);
+BENCHMARK_CAPTURE(BM_Encode, pickle, "pickle")->Arg(225)->Arg(96 * 96);
+BENCHMARK_CAPTURE(BM_Encode, blosc, "blosc")->Arg(225)->Arg(96 * 96);
+BENCHMARK_CAPTURE(BM_Decode, raw, "raw")->Arg(225)->Arg(96 * 96);
+BENCHMARK_CAPTURE(BM_Decode, pickle, "pickle")->Arg(225)->Arg(96 * 96);
+BENCHMARK_CAPTURE(BM_Decode, blosc, "blosc")->Arg(225)->Arg(96 * 96);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Microbenchmarks: document-store primitives — insert, point lookup,
+// indexed vs scanned equality queries (the paper's §II-A requirement ii:
+// "efficient data lookup by using embedding indexing").
+#include <benchmark/benchmark.h>
+
+#include "store/docstore.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace fairdms;
+
+store::Value sample_doc(std::int64_t cluster, util::Rng& rng) {
+  store::Object doc;
+  doc["cluster"] = store::Value(cluster);
+  store::Binary blob(900);
+  for (auto& b : blob) b = static_cast<std::uint8_t>(rng.uniform_index(256));
+  doc["x"] = store::Value(std::move(blob));
+  return store::Value(std::move(doc));
+}
+
+void BM_InsertOne(benchmark::State& state) {
+  store::DocStore db;
+  auto& col = db.collection("bench");
+  col.create_index("cluster");
+  util::Rng rng(1);
+  std::int64_t c = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(col.insert_one(sample_doc(c++ % 16, rng)));
+  }
+}
+
+void BM_FindById(benchmark::State& state) {
+  store::DocStore db;
+  auto& col = db.collection("bench");
+  util::Rng rng(2);
+  std::vector<store::DocId> ids;
+  for (int i = 0; i < 4096; ++i) {
+    ids.push_back(col.insert_one(sample_doc(i % 16, rng)));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(col.find_by_id(ids[i++ % ids.size()]));
+  }
+}
+
+void BM_FindEq(benchmark::State& state) {
+  const bool indexed = state.range(0) != 0;
+  store::DocStore db;
+  auto& col = db.collection("bench");
+  if (indexed) col.create_index("cluster");
+  util::Rng rng(3);
+  for (int i = 0; i < 4096; ++i) {
+    col.insert_one(sample_doc(i % 16, rng));
+  }
+  std::int64_t c = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(col.find_eq("cluster", store::Value(c++ % 16)));
+  }
+  state.SetLabel(indexed ? "indexed" : "collection-scan");
+}
+
+}  // namespace
+
+BENCHMARK(BM_InsertOne);
+BENCHMARK(BM_FindById);
+BENCHMARK(BM_FindEq)->Arg(0)->Arg(1);
+
+BENCHMARK_MAIN();

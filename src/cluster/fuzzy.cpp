@@ -1,0 +1,69 @@
+#include "cluster/fuzzy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fairdms::cluster {
+
+std::vector<double> fuzzy_memberships(const KMeansModel& model,
+                                      std::span<const float> x,
+                                      const FuzzyConfig& config) {
+  FAIRDMS_CHECK(config.fuzziness > 1.0, "fuzziness must exceed 1");
+  const std::vector<double> d2 = model.distances(x);
+  const std::size_t k = d2.size();
+  std::vector<double> u(k, 0.0);
+
+  // Exact-hit handling: membership 1 on the coincident centroid.
+  for (std::size_t c = 0; c < k; ++c) {
+    if (d2[c] <= 1e-24) {
+      u[c] = 1.0;
+      return u;
+    }
+  }
+  const double exponent = 1.0 / (config.fuzziness - 1.0);
+  double denom_sum = 0.0;
+  std::vector<double> inv(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    inv[c] = std::pow(1.0 / d2[c], exponent);
+    denom_sum += inv[c];
+  }
+  for (std::size_t c = 0; c < k; ++c) u[c] = inv[c] / denom_sum;
+  return u;
+}
+
+std::vector<double> assignment_confidence(const KMeansModel& model,
+                                          const Tensor& xs,
+                                          const FuzzyConfig& config) {
+  FAIRDMS_CHECK(xs.rank() == 2 && xs.dim(1) == model.dim(),
+                "assignment_confidence: shape mismatch");
+  std::vector<double> out(xs.dim(0));
+  const float* px = xs.data();
+  const std::size_t d = model.dim();
+  util::parallel_for(
+      xs.dim(0),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto u = fuzzy_memberships(model, {px + i * d, d}, config);
+          out[i] = *std::max_element(u.begin(), u.end());
+        }
+      },
+      /*min_grain=*/64);
+  return out;
+}
+
+double dataset_certainty(const KMeansModel& model, const Tensor& xs,
+                         const FuzzyConfig& config) {
+  const auto confidence = assignment_confidence(model, xs, config);
+  if (confidence.empty()) return 0.0;
+  std::size_t confident = 0;
+  for (double c : confidence) {
+    if (c >= config.confidence_threshold) ++confident;
+  }
+  return static_cast<double>(confident) /
+         static_cast<double>(confidence.size());
+}
+
+}  // namespace fairdms::cluster

@@ -1,0 +1,34 @@
+// Fuzzy c-means memberships for clustering-certainty quantification.
+//
+// The paper (§III-I, Fig. 16) measures the certainty of fairDS's clustering
+// as the percentage of a dataset assigned to its cluster with >= 50%
+// membership confidence, computed with fuzzy k-means. We evaluate fuzzy
+// memberships against fixed centroids (the fitted k-means model):
+// u_ic = 1 / sum_j (d_ic / d_jc)^(2/(m-1)).
+#pragma once
+
+#include "cluster/kmeans.hpp"
+
+namespace fairdms::cluster {
+
+struct FuzzyConfig {
+  double fuzziness = 2.0;              ///< the classic m = 2
+  double confidence_threshold = 0.5;   ///< paper: "at least 50% confidence"
+};
+
+/// Membership vector of one sample over the model's clusters (sums to 1).
+std::vector<double> fuzzy_memberships(const KMeansModel& model,
+                                      std::span<const float> x,
+                                      const FuzzyConfig& config = {});
+
+/// Max membership per row of [N, D] — each sample's assignment confidence.
+std::vector<double> assignment_confidence(const KMeansModel& model,
+                                          const Tensor& xs,
+                                          const FuzzyConfig& config = {});
+
+/// Fraction of samples whose max membership >= threshold (Fig. 16's y-axis,
+/// as a fraction; multiply by 100 for percent).
+double dataset_certainty(const KMeansModel& model, const Tensor& xs,
+                         const FuzzyConfig& config = {});
+
+}  // namespace fairdms::cluster

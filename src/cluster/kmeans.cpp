@@ -1,0 +1,230 @@
+#include "cluster/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fairdms::cluster {
+
+namespace {
+
+double row_sq_dist(const float* a, const float* b, std::size_t d) {
+  double s = 0.0;
+  for (std::size_t j = 0; j < d; ++j) {
+    const double diff = static_cast<double>(a[j]) - b[j];
+    s += diff * diff;
+  }
+  return s;
+}
+
+}  // namespace
+
+KMeansModel::KMeansModel(Tensor centroids) : centroids_(std::move(centroids)) {
+  FAIRDMS_CHECK(centroids_.rank() == 2, "KMeansModel: centroids must be [K,D]");
+}
+
+std::size_t KMeansModel::assign(std::span<const float> x) const {
+  FAIRDMS_CHECK(x.size() == dim(), "KMeansModel::assign: dim mismatch");
+  const float* pc = centroids_.data();
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t best_k = 0;
+  for (std::size_t c = 0; c < k(); ++c) {
+    const double d = row_sq_dist(x.data(), pc + c * dim(), dim());
+    if (d < best) {
+      best = d;
+      best_k = c;
+    }
+  }
+  return best_k;
+}
+
+std::vector<std::size_t> KMeansModel::assign_batch(const Tensor& xs) const {
+  FAIRDMS_CHECK(xs.rank() == 2 && xs.dim(1) == dim(),
+                "assign_batch: expected [N, ", dim(), "], got ",
+                xs.shape_str());
+  std::vector<std::size_t> out(xs.dim(0));
+  const float* px = xs.data();
+  const std::size_t d = dim();
+  util::parallel_for(
+      xs.dim(0),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          out[i] = assign({px + i * d, d});
+        }
+      },
+      /*min_grain=*/64);
+  return out;
+}
+
+std::vector<double> KMeansModel::distances(std::span<const float> x) const {
+  FAIRDMS_CHECK(x.size() == dim(), "KMeansModel::distances: dim mismatch");
+  std::vector<double> out(k());
+  const float* pc = centroids_.data();
+  for (std::size_t c = 0; c < k(); ++c) {
+    out[c] = row_sq_dist(x.data(), pc + c * dim(), dim());
+  }
+  return out;
+}
+
+double KMeansModel::wss(const Tensor& xs) const {
+  const auto assignments = assign_batch(xs);
+  const float* px = xs.data();
+  const float* pc = centroids_.data();
+  const std::size_t d = dim();
+  double total = 0.0;
+  for (std::size_t i = 0; i < xs.dim(0); ++i) {
+    total += row_sq_dist(px + i * d, pc + assignments[i] * d, d);
+  }
+  return total;
+}
+
+std::vector<double> KMeansModel::cluster_pdf(const Tensor& xs) const {
+  std::vector<double> pdf(k(), 0.0);
+  const auto assignments = assign_batch(xs);
+  for (std::size_t a : assignments) pdf[a] += 1.0;
+  const auto n = static_cast<double>(assignments.size());
+  if (n > 0) {
+    for (double& v : pdf) v /= n;
+  }
+  return pdf;
+}
+
+KMeansModel kmeans_fit(const Tensor& xs, const KMeansConfig& config) {
+  FAIRDMS_CHECK(xs.rank() == 2, "kmeans_fit: expected [N, D]");
+  const std::size_t n = xs.dim(0);
+  const std::size_t d = xs.dim(1);
+  FAIRDMS_CHECK(config.k > 0 && config.k <= n, "kmeans_fit: k=", config.k,
+                " with n=", n);
+  util::Rng rng(config.seed);
+  const float* px = xs.data();
+
+  // k-means++ seeding.
+  Tensor centroids({config.k, d});
+  float* pc = centroids.data();
+  std::vector<double> min_dist(n, std::numeric_limits<double>::infinity());
+  {
+    const std::size_t first = rng.uniform_index(n);
+    std::copy_n(px + first * d, d, pc);
+  }
+  for (std::size_t c = 1; c < config.k; ++c) {
+    double total = 0.0;
+    const float* prev = pc + (c - 1) * d;
+    for (std::size_t i = 0; i < n; ++i) {
+      min_dist[i] = std::min(min_dist[i], row_sq_dist(px + i * d, prev, d));
+      total += min_dist[i];
+    }
+    std::size_t chosen = n - 1;
+    if (total > 0.0) {
+      const double target = rng.uniform() * total;
+      double acc = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        acc += min_dist[i];
+        if (acc >= target) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = rng.uniform_index(n);
+    }
+    std::copy_n(px + chosen * d, d, pc + c * d);
+  }
+
+  // Lloyd iterations with per-chunk partial sums merged deterministically
+  // by chunk index.
+  std::vector<std::size_t> assignment(n, 0);
+  KMeansModel model(centroids);
+  for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+    assignment = model.assign_batch(xs);
+
+    Tensor sums({config.k, d});
+    std::vector<std::size_t> counts(config.k, 0);
+    float* ps = sums.data();
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t a = assignment[i];
+      ++counts[a];
+      const float* row = px + i * d;
+      float* dst = ps + a * d;
+      for (std::size_t j = 0; j < d; ++j) dst[j] += row[j];
+    }
+
+    Tensor new_centroids = model.centroids();
+    float* pnc = new_centroids.data();
+    double movement = 0.0;
+    for (std::size_t c = 0; c < config.k; ++c) {
+      if (counts[c] == 0) {
+        // Empty cluster: re-seed at the point farthest from its centroid.
+        double worst = -1.0;
+        std::size_t worst_i = 0;
+        const float* old = model.centroids().data();
+        for (std::size_t i = 0; i < n; ++i) {
+          const double dist =
+              row_sq_dist(px + i * d, old + assignment[i] * d, d);
+          if (dist > worst) {
+            worst = dist;
+            worst_i = i;
+          }
+        }
+        std::copy_n(px + worst_i * d, d, pnc + c * d);
+        movement += 1.0;
+        continue;
+      }
+      const float inv = 1.0f / static_cast<float>(counts[c]);
+      for (std::size_t j = 0; j < d; ++j) {
+        const float v = ps[c * d + j] * inv;
+        const double delta =
+            static_cast<double>(v) - model.centroids()[c * d + j];
+        movement += delta * delta;
+        pnc[c * d + j] = v;
+      }
+    }
+    model = KMeansModel(new_centroids);
+    if (movement < config.tolerance) break;
+  }
+  return model;
+}
+
+ElbowResult elbow_k(const Tensor& xs, std::size_t k_min, std::size_t k_max,
+                    std::uint64_t seed) {
+  FAIRDMS_CHECK(k_min >= 1 && k_max >= k_min, "elbow_k: bad range [", k_min,
+                ", ", k_max, "]");
+  ElbowResult result;
+  for (std::size_t k = k_min; k <= k_max; ++k) {
+    KMeansConfig config;
+    config.k = k;
+    config.seed = seed + k;
+    const KMeansModel model = kmeans_fit(xs, config);
+    result.wss_curve.push_back(model.wss(xs));
+  }
+  // Knee: the k whose (k, WSS) point is farthest from the chord connecting
+  // the first and last points of the curve.
+  const std::size_t m = result.wss_curve.size();
+  if (m <= 2) {
+    result.best_k = k_min;
+    return result;
+  }
+  const double x0 = static_cast<double>(k_min);
+  const double y0 = result.wss_curve.front();
+  const double x1 = static_cast<double>(k_max);
+  const double y1 = result.wss_curve.back();
+  const double chord_len = std::hypot(x1 - x0, y1 - y0);
+  double best_dist = -1.0;
+  result.best_k = k_min;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double x = static_cast<double>(k_min + i);
+    const double y = result.wss_curve[i];
+    const double dist =
+        std::fabs((y1 - y0) * x - (x1 - x0) * y + x1 * y0 - y1 * x0) /
+        std::max(chord_len, 1e-12);
+    if (dist > best_dist) {
+      best_dist = dist;
+      result.best_k = k_min + i;
+    }
+  }
+  return result;
+}
+
+}  // namespace fairdms::cluster

@@ -1,0 +1,70 @@
+// K-means clustering over embedding vectors (paper §II-A: the second level
+// of fairDS's two-level hierarchical search). k-means++ seeding, Lloyd
+// iterations with thread-parallel assignment, normalized-Euclidean option.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace fairdms::cluster {
+
+using tensor::Tensor;
+
+struct KMeansConfig {
+  std::size_t k = 8;
+  std::size_t max_iterations = 100;
+  double tolerance = 1e-6;  ///< stop when total centroid movement < tol
+  std::uint64_t seed = 7;
+};
+
+class KMeansModel {
+ public:
+  KMeansModel() = default;
+  KMeansModel(Tensor centroids);  // [K, D]
+
+  [[nodiscard]] std::size_t k() const {
+    return centroids_.empty() ? 0 : centroids_.dim(0);
+  }
+  [[nodiscard]] std::size_t dim() const {
+    return centroids_.empty() ? 0 : centroids_.dim(1);
+  }
+  [[nodiscard]] const Tensor& centroids() const { return centroids_; }
+
+  /// Nearest centroid for one vector.
+  [[nodiscard]] std::size_t assign(std::span<const float> x) const;
+  /// Nearest centroid per row of [N, D] (thread-parallel).
+  [[nodiscard]] std::vector<std::size_t> assign_batch(const Tensor& xs) const;
+
+  /// Squared distance from x to each centroid.
+  [[nodiscard]] std::vector<double> distances(std::span<const float> x) const;
+
+  /// Within-cluster sum of squared distances over a dataset.
+  [[nodiscard]] double wss(const Tensor& xs) const;
+
+  /// Normalized cluster-occupancy histogram of a dataset — fairDS's "cluster
+  /// PDF", the representation both the data lookup and the fairMS model
+  /// index are keyed on.
+  [[nodiscard]] std::vector<double> cluster_pdf(const Tensor& xs) const;
+
+ private:
+  Tensor centroids_;
+};
+
+/// Lloyd's algorithm with k-means++ initialization on rows of [N, D].
+KMeansModel kmeans_fit(const Tensor& xs, const KMeansConfig& config);
+
+/// Elbow method (YellowBrick analog): fits k in [k_min, k_max], computes the
+/// WSS curve, and returns the k at maximum distance from the chord between
+/// the curve's endpoints (the "knee").
+struct ElbowResult {
+  std::size_t best_k = 0;
+  std::vector<double> wss_curve;  ///< indexed by k - k_min
+};
+ElbowResult elbow_k(const Tensor& xs, std::size_t k_min, std::size_t k_max,
+                    std::uint64_t seed);
+
+}  // namespace fairdms::cluster

@@ -1,0 +1,43 @@
+#include "core/degradation.hpp"
+
+#include "nn/uncertainty.hpp"
+#include "util/check.hpp"
+
+namespace fairdms::core {
+
+Observation DegradationMonitor::observe(nn::Sequential& model,
+                                        const nn::Tensor& xs,
+                                        double task_error) {
+  Observation obs;
+  obs.error = task_error;
+  obs.uncertainty =
+      nn::mc_dropout_uncertainty(model, xs, config_.mc_samples);
+
+  if (history_.size() < config_.baseline_window) {
+    // Still collecting the baseline band: running mean of early datasets.
+    const auto n = static_cast<double>(history_.size());
+    baseline_error_ = (baseline_error_ * n + obs.error) / (n + 1.0);
+    baseline_uncertainty_ =
+        (baseline_uncertainty_ * n + obs.uncertainty) / (n + 1.0);
+  } else {
+    const bool error_out =
+        baseline_error_ > 0.0 &&
+        obs.error > config_.error_factor * baseline_error_;
+    const bool unc_out =
+        baseline_uncertainty_ > 0.0 &&
+        obs.uncertainty > config_.uncertainty_factor * baseline_uncertainty_;
+    obs.degraded = error_out || unc_out;
+    detected_ = detected_ || obs.degraded;
+  }
+  history_.push_back(obs);
+  return obs;
+}
+
+void DegradationMonitor::reset() {
+  history_.clear();
+  baseline_error_ = 0.0;
+  baseline_uncertainty_ = 0.0;
+  detected_ = false;
+}
+
+}  // namespace fairdms::core

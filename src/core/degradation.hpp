@@ -1,0 +1,56 @@
+// Model-degradation detection (paper Fig. 2): track prediction error and
+// MC-dropout uncertainty per dataset; flag retraining when either leaves the
+// band established on the reference (deployment-time) datasets.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/sequential.hpp"
+
+namespace fairdms::core {
+
+struct DegradationConfig {
+  std::size_t mc_samples = 16;      ///< forward passes for MC dropout
+  double error_factor = 1.5;        ///< flag when error > factor * baseline
+  double uncertainty_factor = 1.5;  ///< same for predictive uncertainty
+  std::size_t baseline_window = 5;  ///< first N observations form baseline
+};
+
+struct Observation {
+  double error = 0.0;
+  double uncertainty = 0.0;
+  bool degraded = false;
+};
+
+class DegradationMonitor {
+ public:
+  explicit DegradationMonitor(DegradationConfig config = {})
+      : config_(config) {}
+
+  /// Records one dataset's evaluation: mean task error (caller-computed,
+  /// e.g. pixel distance for BraggNN) and MC-dropout uncertainty of the
+  /// model on the inputs.
+  Observation observe(nn::Sequential& model, const nn::Tensor& xs,
+                      double task_error);
+
+  [[nodiscard]] const std::vector<Observation>& history() const {
+    return history_;
+  }
+  [[nodiscard]] double baseline_error() const { return baseline_error_; }
+  [[nodiscard]] double baseline_uncertainty() const {
+    return baseline_uncertainty_;
+  }
+  /// True once any observation has been flagged.
+  [[nodiscard]] bool degradation_detected() const { return detected_; }
+  void reset();
+
+ private:
+  DegradationConfig config_;
+  std::vector<Observation> history_;
+  double baseline_error_ = 0.0;
+  double baseline_uncertainty_ = 0.0;
+  bool detected_ = false;
+};
+
+}  // namespace fairdms::core

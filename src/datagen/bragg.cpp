@@ -1,0 +1,117 @@
+#include "datagen/bragg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fairdms::datagen {
+
+namespace {
+double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+}  // namespace
+
+BraggSample sample_bragg(const BraggRegime& regime, const BraggConfig& config,
+                         util::Rng& rng) {
+  const std::size_t s = config.patch_size;
+  const double mid = static_cast<double>(s - 1) / 2.0;
+
+  PeakParams p;
+  p.center_x = mid + rng.uniform(-regime.center_jitter, regime.center_jitter);
+  p.center_y = mid + rng.uniform(-regime.center_jitter, regime.center_jitter);
+  p.sigma_major =
+      std::max(0.5, rng.gaussian(regime.sigma_major_mean,
+                                 regime.sigma_major_sd));
+  const double aspect =
+      std::clamp(rng.gaussian(regime.aspect_mean, regime.aspect_sd), 0.3, 1.0);
+  p.sigma_minor = std::max(0.4, p.sigma_major * aspect);
+  p.theta = rng.gaussian(regime.theta_mean, regime.theta_sd);
+  p.eta = clamp01(rng.gaussian(regime.eta_mean, regime.eta_sd));
+  p.amplitude =
+      std::max(0.2, rng.gaussian(regime.amplitude_mean, regime.amplitude_sd));
+  p.background = 0.0;
+
+  BraggSample sample;
+  sample.patch.resize(s * s);
+  render_peak(p, s, sample.patch);
+  for (float& v : sample.patch) {
+    v += static_cast<float>(rng.gaussian(0.0, regime.noise_sd));
+  }
+  sample.center_x = p.center_x;
+  sample.center_y = p.center_y;
+  return sample;
+}
+
+nn::Batchset make_bragg_batchset(const BraggRegime& regime,
+                                 const BraggConfig& config, std::size_t n,
+                                 util::Rng& rng) {
+  const std::size_t s = config.patch_size;
+  const double mid = static_cast<double>(s - 1) / 2.0;
+  nn::Batchset out;
+  out.xs = nn::Tensor({n, 1, s, s});
+  out.ys = nn::Tensor({n, 2});
+  float* px = out.xs.data();
+  float* py = out.ys.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    const BraggSample sample = sample_bragg(regime, config, rng);
+    std::copy(sample.patch.begin(), sample.patch.end(), px + i * s * s);
+    py[i * 2 + 0] =
+        static_cast<float>((sample.center_x - mid) / static_cast<double>(s));
+    py[i * 2 + 1] =
+        static_cast<float>((sample.center_y - mid) / static_cast<double>(s));
+  }
+  return out;
+}
+
+double bragg_pixel_error(const nn::Tensor& pred, const nn::Tensor& truth,
+                         std::size_t patch_size, std::size_t row) {
+  FAIRDMS_CHECK(pred.rank() == 2 && pred.dim(1) == 2, "bragg_pixel_error: ",
+                "pred must be [N, 2]");
+  FAIRDMS_CHECK(row < pred.dim(0) && row < truth.dim(0),
+                "bragg_pixel_error: row out of range");
+  const double dx = (static_cast<double>(pred.at(row, 0)) -
+                     truth.at(row, 0)) *
+                    static_cast<double>(patch_size);
+  const double dy = (static_cast<double>(pred.at(row, 1)) -
+                     truth.at(row, 1)) *
+                    static_cast<double>(patch_size);
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+BraggRegime HedmTimeline::regime_at(std::size_t scan) const {
+  FAIRDMS_CHECK(scan < config_.n_scans, "scan ", scan, " beyond timeline of ",
+                config_.n_scans);
+  BraggRegime r = config_.base;
+  const double t = static_cast<double>(scan);
+  const double drift = config_.drift_per_scan * t;
+
+  // Smooth drift: widths broaden, peaks become more Lorentzian, orientation
+  // rotates — all familiar signatures of slow sample/detector evolution.
+  r.sigma_major_mean *= 1.0 + drift;
+  r.eta_mean = clamp01(r.eta_mean + 0.5 * drift);
+  r.theta_mean += 0.8 * drift;
+
+  // Deformation events: discrete regime jumps (plastic deformation changes
+  // strain state -> peak shape changes qualitatively).
+  for (std::size_t event : config_.deformation_scans) {
+    if (scan >= event) {
+      r.sigma_major_mean *= 1.0 + config_.deformation_jump;
+      r.aspect_mean = std::clamp(
+          r.aspect_mean - 0.35 * config_.deformation_jump, 0.3, 1.0);
+      r.eta_mean = clamp01(r.eta_mean + 0.6 * config_.deformation_jump);
+      r.theta_mean += 1.1 * config_.deformation_jump;
+      r.noise_sd *= 1.0 + 0.5 * config_.deformation_jump;
+    }
+  }
+  return r;
+}
+
+nn::Batchset HedmTimeline::dataset_at(std::size_t scan, std::size_t n,
+                                      std::uint64_t seed,
+                                      const BraggConfig& config) const {
+  util::Rng rng(seed ^ (0xA5A5'0000'0000'0000ull + scan * 0x9E37'79B9ull));
+  const BraggRegime regime = regime_at(scan);
+  return make_bragg_batchset(regime, config, n, rng);
+}
+
+}  // namespace fairdms::datagen

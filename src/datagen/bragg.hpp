@@ -1,0 +1,93 @@
+// Synthetic BraggPeaks dataset and HEDM experiment timelines.
+//
+// Substitution (DESIGN.md §4): the paper uses 1.87M real 15x15 Bragg-peak
+// patches from 27 APS experiments. We render patches from 2-D pseudo-Voigt
+// profiles whose generative parameters are drawn from an experiment *regime*.
+// A regime drifts smoothly with scan index (sample heating, detector drift)
+// and jumps at "deformation events" — exactly the phenomenon that degrades
+// the deployed model in the paper's Fig. 2 and makes the dataset-similarity
+// structure bimodal in Fig. 10.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "datagen/pseudo_voigt.hpp"
+#include "nn/trainer.hpp"
+#include "util/rng.hpp"
+
+namespace fairdms::datagen {
+
+/// Distribution over PeakParams for one experimental condition.
+struct BraggRegime {
+  double sigma_major_mean = 2.2;
+  double sigma_major_sd = 0.25;
+  double aspect_mean = 0.75;   ///< sigma_minor / sigma_major
+  double aspect_sd = 0.08;
+  double theta_mean = 0.6;     ///< preferred orientation (radians)
+  double theta_sd = 0.5;
+  double eta_mean = 0.45;      ///< Lorentzian fraction
+  double eta_sd = 0.1;
+  double amplitude_mean = 1.0;
+  double amplitude_sd = 0.2;
+  double noise_sd = 0.03;      ///< additive Gaussian pixel noise
+  double center_jitter = 2.5;  ///< max |offset| of center from patch middle
+};
+
+struct BraggSample {
+  std::vector<float> patch;  ///< size*size pixels
+  double center_x = 0.0;     ///< ground-truth sub-pixel center
+  double center_y = 0.0;
+};
+
+struct BraggConfig {
+  std::size_t patch_size = 15;  ///< the paper's 15x15 patches
+};
+
+/// Draws one sample from a regime.
+BraggSample sample_bragg(const BraggRegime& regime, const BraggConfig& config,
+                         util::Rng& rng);
+
+/// Renders n samples into a supervised Batchset:
+/// xs [n, 1, S, S] normalized patches; ys [n, 2] = center offset from the
+/// patch midpoint in units of patch size (so errors * S are pixels).
+nn::Batchset make_bragg_batchset(const BraggRegime& regime,
+                                 const BraggConfig& config, std::size_t n,
+                                 util::Rng& rng);
+
+/// Pixel distance between predicted and true centers for normalized labels.
+double bragg_pixel_error(const nn::Tensor& pred, const nn::Tensor& truth,
+                         std::size_t patch_size, std::size_t row);
+
+/// An HEDM experiment timeline: regimes drift linearly with scan index and
+/// jump by `deformation_jump` at each deformation scan (paper: the sample
+/// deformation after scan 444 in Fig. 2; the bimodal configuration change in
+/// Fig. 10).
+struct HedmTimelineConfig {
+  BraggRegime base;
+  std::size_t n_scans = 100;
+  double drift_per_scan = 0.004;  ///< fractional drift of widths/eta per scan
+  std::vector<std::size_t> deformation_scans;
+  double deformation_jump = 0.45;  ///< regime shift applied at each event
+};
+
+class HedmTimeline {
+ public:
+  explicit HedmTimeline(HedmTimelineConfig config)
+      : config_(std::move(config)) {}
+
+  [[nodiscard]] const HedmTimelineConfig& config() const { return config_; }
+
+  /// Regime in effect at a scan index (drift + accumulated deformations).
+  [[nodiscard]] BraggRegime regime_at(std::size_t scan) const;
+
+  /// Dataset for one scan; deterministic in (seed, scan).
+  [[nodiscard]] nn::Batchset dataset_at(std::size_t scan, std::size_t n,
+                                        std::uint64_t seed,
+                                        const BraggConfig& config = {}) const;
+
+ private:
+  HedmTimelineConfig config_;
+};
+
+}  // namespace fairdms::datagen

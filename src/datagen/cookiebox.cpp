@@ -1,0 +1,103 @@
+#include "datagen/cookiebox.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace fairdms::datagen {
+
+namespace {
+
+/// Smooth per-channel energy density over `bins` buckets; sums to 1.
+void channel_density(const CookieBoxRegime& regime, std::size_t channel,
+                     std::size_t channels, std::size_t bins,
+                     std::vector<double>& pdf) {
+  pdf.assign(bins, 0.0);
+  const double angle = 2.0 * std::numbers::pi * static_cast<double>(channel) /
+                       static_cast<double>(channels);
+  // Angular streaking: the photoline center shifts sinusoidally with channel
+  // angle relative to the laser polarization phase.
+  const double photoline =
+      regime.photoline_center +
+      regime.streak_amplitude * std::sin(angle + regime.streak_phase);
+  const double auger = regime.auger_center;
+  const double w = regime.photoline_width;
+  double total = 0.0;
+  for (std::size_t b = 0; b < bins; ++b) {
+    const double e = (static_cast<double>(b) + 0.5) / static_cast<double>(bins);
+    const double d1 = (e - photoline) / w;
+    const double d2 = (e - auger) / (1.6 * w);
+    const double v = std::exp(-0.5 * d1 * d1) +
+                     regime.auger_strength * std::exp(-0.5 * d2 * d2);
+    pdf[b] = v;
+    total += v;
+  }
+  FAIRDMS_CHECK(total > 0.0, "degenerate CookieBox density");
+  for (double& v : pdf) v /= total;
+}
+
+}  // namespace
+
+nn::Batchset make_cookiebox_batchset(const CookieBoxRegime& regime,
+                                     const CookieBoxConfig& config,
+                                     std::size_t n, util::Rng& rng) {
+  const std::size_t h = config.height();
+  const std::size_t w = config.bins;
+  nn::Batchset out;
+  out.xs = nn::Tensor({n, 1, h, w});
+  out.ys = nn::Tensor({n, 1, h, w});
+  float* px = out.xs.data();
+  float* py = out.ys.data();
+
+  std::vector<double> pdf;
+  std::vector<std::vector<double>> densities(config.channels);
+  for (std::size_t c = 0; c < config.channels; ++c) {
+    channel_density(regime, c, config.channels, w, pdf);
+    densities[c] = pdf;
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // Per-shot intensity fluctuation (SASE pulses vary shot to shot).
+    const double shot_scale = std::max(0.25, rng.gaussian(1.0, 0.15));
+    for (std::size_t row = 0; row < h; ++row) {
+      const auto& density = densities[row / config.rows_per_channel];
+      float* xrow = px + (i * h + row) * w;
+      float* yrow = py + (i * h + row) * w;
+      const double lam_row = config.counts_per_row * shot_scale;
+      for (std::size_t b = 0; b < w; ++b) {
+        const double lambda = lam_row * density[b];
+        const auto counts = static_cast<double>(rng.poisson(lambda));
+        // Normalize counts back to density scale so input magnitude is
+        // invariant to counts_per_row.
+        xrow[b] = static_cast<float>(counts / lam_row);
+        yrow[b] = static_cast<float>(density[b]);
+      }
+    }
+  }
+  return out;
+}
+
+CookieBoxRegime CookieBoxTimeline::regime_at(std::size_t step) const {
+  FAIRDMS_CHECK(step < config_.n_steps, "step ", step, " beyond timeline of ",
+                config_.n_steps);
+  CookieBoxRegime r = config_.base;
+  const double t = static_cast<double>(step);
+  r.photoline_center =
+      std::clamp(r.photoline_center + config_.center_drift_per_step * t,
+                 0.05, 0.95);
+  r.streak_phase += config_.phase_drift_per_step * t;
+  return r;
+}
+
+nn::Batchset CookieBoxTimeline::dataset_at(std::size_t step, std::size_t n,
+                                           std::uint64_t seed,
+                                           const CookieBoxConfig& config)
+    const {
+  util::Rng rng(seed ^ (0xC00C'1EB0'0000'0000ull + step * 0x9E37'79B9ull));
+  return make_cookiebox_batchset(regime_at(step), config, n, rng);
+}
+
+}  // namespace fairdms::datagen

@@ -1,0 +1,75 @@
+// Synthetic CookieBox dataset.
+//
+// Substitution (DESIGN.md §4): the paper's CookieBox data come from a
+// simulation of an angular array of 16 electron time-of-flight spectrometers;
+// each image row is an empirical energy histogram of one channel and the
+// CookieNetAE label is the underlying smooth energy-angle probability density.
+// We model each channel's spectrum as a mixture of Gaussians over energy bins
+// whose centers depend on channel angle (sinusoidal angular modulation from
+// the circularly polarized field), Poisson-sample counts for the input, and
+// use the noiseless density as the label. Drift = spectral peaks migrating
+// with experiment phase.
+#pragma once
+
+#include <cstddef>
+
+#include "nn/trainer.hpp"
+#include "util/rng.hpp"
+
+namespace fairdms::datagen {
+
+struct CookieBoxConfig {
+  std::size_t bins = 32;      ///< energy bins == image width (paper: 128)
+  std::size_t channels = 16;  ///< spectrometer channels (paper: 16)
+  /// image height = channels * rows_per_channel (paper: 128 rows)
+  std::size_t rows_per_channel = 2;
+  double counts_per_row = 220.0;  ///< mean detected electrons per row
+  [[nodiscard]] std::size_t height() const {
+    return channels * rows_per_channel;
+  }
+};
+
+/// One experimental condition: where the photoline sits and how the angular
+/// streaking modulates it.
+struct CookieBoxRegime {
+  double photoline_center = 0.45;  ///< fractional energy of the main line
+  double photoline_width = 0.035;  ///< fractional width
+  double streak_amplitude = 0.12;  ///< angular modulation depth
+  double streak_phase = 0.0;       ///< laser/X-ray relative phase
+  double auger_center = 0.72;      ///< secondary (Auger) line position
+  double auger_strength = 0.45;    ///< relative intensity of the second line
+};
+
+/// xs [n, 1, H, W]: normalized Poisson histograms; ys [n, 1, H, W]: the
+/// underlying smooth density (CookieNetAE's regression target).
+nn::Batchset make_cookiebox_batchset(const CookieBoxRegime& regime,
+                                     const CookieBoxConfig& config,
+                                     std::size_t n, util::Rng& rng);
+
+/// Gradually drifting experiment timeline (the monotone setting of Fig. 11).
+struct CookieBoxTimelineConfig {
+  CookieBoxRegime base;
+  std::size_t n_steps = 40;
+  double center_drift_per_step = 0.005;  ///< photoline migration per step
+  double phase_drift_per_step = 0.06;    ///< streak phase advance per step
+};
+
+class CookieBoxTimeline {
+ public:
+  explicit CookieBoxTimeline(CookieBoxTimelineConfig config)
+      : config_(std::move(config)) {}
+
+  [[nodiscard]] const CookieBoxTimelineConfig& config() const {
+    return config_;
+  }
+  [[nodiscard]] CookieBoxRegime regime_at(std::size_t step) const;
+  [[nodiscard]] nn::Batchset dataset_at(std::size_t step, std::size_t n,
+                                        std::uint64_t seed,
+                                        const CookieBoxConfig& config = {})
+      const;
+
+ private:
+  CookieBoxTimelineConfig config_;
+};
+
+}  // namespace fairdms::datagen

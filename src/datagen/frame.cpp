@@ -1,0 +1,82 @@
+#include "datagen/frame.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fairdms::datagen {
+
+Frame render_frame(const FrameConfig& config, const BraggRegime& regime,
+                   util::Rng& rng) {
+  const std::size_t s = config.size;
+  FAIRDMS_CHECK(s >= 32, "frame too small: ", s);
+  Frame frame;
+  frame.pixels.assign(s * s, 0.0f);
+
+  // Rejection-sample peak centers with a minimum separation so the peak
+  // finder sees isolated blobs (HEDM far-field frames are sparse).
+  const double margin = 8.0;
+  for (std::size_t p = 0; p < config.peaks; ++p) {
+    PeakParams params;
+    bool placed = false;
+    for (int attempt = 0; attempt < 200 && !placed; ++attempt) {
+      const double cx =
+          rng.uniform(margin, static_cast<double>(s) - margin);
+      const double cy =
+          rng.uniform(margin, static_cast<double>(s) - margin);
+      placed = true;
+      for (const PeakParams& other : frame.truth) {
+        const double dx = cx - other.center_x;
+        const double dy = cy - other.center_y;
+        if (dx * dx + dy * dy <
+            config.min_separation * config.min_separation) {
+          placed = false;
+          break;
+        }
+      }
+      if (placed) {
+        params.center_x = cx;
+        params.center_y = cy;
+      }
+    }
+    if (!placed) continue;  // frame saturated; fewer peaks is fine
+    params.sigma_major = std::max(
+        0.6, rng.gaussian(regime.sigma_major_mean, regime.sigma_major_sd));
+    const double aspect = std::clamp(
+        rng.gaussian(regime.aspect_mean, regime.aspect_sd), 0.3, 1.0);
+    params.sigma_minor = std::max(0.5, params.sigma_major * aspect);
+    params.theta = rng.gaussian(regime.theta_mean, regime.theta_sd);
+    params.eta = std::clamp(rng.gaussian(regime.eta_mean, regime.eta_sd),
+                            0.0, 1.0);
+    params.amplitude = std::max(
+        0.3, rng.gaussian(regime.amplitude_mean, regime.amplitude_sd));
+    params.background = 0.0;
+    frame.truth.push_back(params);
+  }
+
+  // Additive rendering within a local window per peak (profiles decay fast).
+  for (const PeakParams& p : frame.truth) {
+    const double reach = 6.0 * p.sigma_major;
+    const auto x_lo = static_cast<std::size_t>(
+        std::max(0.0, p.center_x - reach));
+    const auto x_hi = static_cast<std::size_t>(std::min<double>(
+        static_cast<double>(s), p.center_x + reach + 1.0));
+    const auto y_lo = static_cast<std::size_t>(
+        std::max(0.0, p.center_y - reach));
+    const auto y_hi = static_cast<std::size_t>(std::min<double>(
+        static_cast<double>(s), p.center_y + reach + 1.0));
+    for (std::size_t y = y_lo; y < y_hi; ++y) {
+      for (std::size_t x = x_lo; x < x_hi; ++x) {
+        frame.pixels[y * s + x] += static_cast<float>(pseudo_voigt(
+            p, static_cast<double>(x), static_cast<double>(y)));
+      }
+    }
+  }
+  for (float& v : frame.pixels) {
+    v += static_cast<float>(rng.gaussian(0.0, regime.noise_sd));
+  }
+  return frame;
+}
+
+}  // namespace fairdms::datagen

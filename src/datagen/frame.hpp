@@ -1,0 +1,32 @@
+// Full detector-frame synthesis for the conventional-labeling pipeline.
+//
+// The paper's HEDM scans are sequences of full 1440x1440 detector frames,
+// each holding many diffraction peaks; MIDAS labels a scan by searching each
+// frame for peaks and fitting every one. Patch datasets (datagen/bragg.hpp)
+// are what the ML path consumes; frames are what the conventional baseline
+// has to chew through — that asymmetry is the heart of Fig. 15.
+#pragma once
+
+#include <vector>
+
+#include "datagen/bragg.hpp"
+
+namespace fairdms::datagen {
+
+struct FrameConfig {
+  std::size_t size = 256;       ///< square frame side (paper: 1440)
+  std::size_t peaks = 40;       ///< diffraction peaks per frame
+  double min_separation = 12.0; ///< centers at least this many px apart
+};
+
+struct Frame {
+  std::vector<float> pixels;            ///< size*size, row-major
+  std::vector<PeakParams> truth;        ///< generative peak parameters
+};
+
+/// Renders one frame with `config.peaks` non-overlapping peaks drawn from
+/// `regime`, plus the regime's pixel noise.
+Frame render_frame(const FrameConfig& config, const BraggRegime& regime,
+                   util::Rng& rng);
+
+}  // namespace fairdms::datagen

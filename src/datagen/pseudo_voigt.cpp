@@ -1,0 +1,54 @@
+#include "datagen/pseudo_voigt.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fairdms::datagen {
+
+double pseudo_voigt(const PeakParams& p, double x, double y) {
+  const double dx = x - p.center_x;
+  const double dy = y - p.center_y;
+  const double ct = std::cos(p.theta);
+  const double st = std::sin(p.theta);
+  const double u = (ct * dx + st * dy) / p.sigma_major;
+  const double v = (-st * dx + ct * dy) / p.sigma_minor;
+  const double r2 = u * u + v * v;
+  const double gauss = std::exp(-0.5 * r2);
+  const double lorentz = 1.0 / (1.0 + r2);
+  return p.background + p.amplitude * (p.eta * lorentz + (1.0 - p.eta) * gauss);
+}
+
+void render_peak(const PeakParams& p, std::size_t size, std::span<float> out) {
+  FAIRDMS_CHECK(out.size() == size * size, "render_peak: bad buffer size");
+  for (std::size_t y = 0; y < size; ++y) {
+    for (std::size_t x = 0; x < size; ++x) {
+      out[y * size + x] = static_cast<float>(
+          pseudo_voigt(p, static_cast<double>(x), static_cast<double>(y)));
+    }
+  }
+}
+
+void intensity_centroid(std::span<const float> patch, std::size_t size,
+                        double& cx, double& cy) {
+  FAIRDMS_CHECK(patch.size() == size * size, "intensity_centroid: bad size");
+  double total = 0.0, sx = 0.0, sy = 0.0;
+  float min_val = patch[0];
+  for (float v : patch) min_val = std::min(min_val, v);
+  for (std::size_t y = 0; y < size; ++y) {
+    for (std::size_t x = 0; x < size; ++x) {
+      const double w = static_cast<double>(patch[y * size + x]) - min_val;
+      total += w;
+      sx += w * static_cast<double>(x);
+      sy += w * static_cast<double>(y);
+    }
+  }
+  if (total <= 0.0) {
+    cx = cy = static_cast<double>(size - 1) / 2.0;
+    return;
+  }
+  cx = sx / total;
+  cy = sy / total;
+}
+
+}  // namespace fairdms::datagen

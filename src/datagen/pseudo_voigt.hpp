@@ -1,0 +1,37 @@
+// 2-D pseudo-Voigt peak profile.
+//
+// This is both the generative model for synthetic Bragg-peak patches
+// (substituting the paper's 1.87M real APS diffraction patches — see
+// DESIGN.md §4) and the model function that the MIDAS-analog fitter in
+// src/labeling regresses. pV = eta * Lorentzian + (1 - eta) * Gaussian over
+// an elliptical, rotated footprint.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace fairdms::datagen {
+
+struct PeakParams {
+  double center_x = 7.0;    ///< sub-pixel x of the peak center
+  double center_y = 7.0;    ///< sub-pixel y of the peak center
+  double sigma_major = 2.0; ///< Gaussian width along the major axis (px)
+  double sigma_minor = 1.5; ///< width along the minor axis (px)
+  double theta = 0.0;       ///< major-axis orientation (radians)
+  double eta = 0.5;         ///< Lorentzian fraction in [0, 1]
+  double amplitude = 1.0;   ///< peak height above background
+  double background = 0.0;  ///< constant baseline
+};
+
+/// Profile value at (x, y).
+double pseudo_voigt(const PeakParams& p, double x, double y);
+
+/// Renders the profile into a row-major size x size patch (no noise).
+void render_peak(const PeakParams& p, std::size_t size, std::span<float> out);
+
+/// Intensity-weighted centroid of a patch — the classical first-moment
+/// estimate used to initialize the Voigt fit.
+void intensity_centroid(std::span<const float> patch, std::size_t size,
+                        double& cx, double& cy);
+
+}  // namespace fairdms::datagen

@@ -1,0 +1,66 @@
+#include "datagen/tomography.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fairdms::datagen {
+
+void render_phantom(const TomoConfig& config, util::Rng& rng,
+                    std::span<float> out) {
+  const std::size_t s = config.size;
+  FAIRDMS_CHECK(out.size() == s * s, "render_phantom: bad buffer size");
+  std::fill(out.begin(), out.end(), 0.0f);
+
+  const std::size_t n_ellipses = 3 + rng.uniform_index(config.max_ellipses);
+  for (std::size_t e = 0; e < n_ellipses; ++e) {
+    const double cx = rng.uniform(0.2, 0.8) * static_cast<double>(s);
+    const double cy = rng.uniform(0.2, 0.8) * static_cast<double>(s);
+    const double ra = rng.uniform(0.04, 0.28) * static_cast<double>(s);
+    const double rb = rng.uniform(0.04, 0.28) * static_cast<double>(s);
+    const double theta = rng.uniform(0.0, 3.14159265);
+    const auto density = static_cast<float>(rng.uniform(0.15, 0.5));
+    const double ct = std::cos(theta), st = std::sin(theta);
+    const auto y_lo = static_cast<std::size_t>(
+        std::max(0.0, cy - std::max(ra, rb) - 1.0));
+    const auto y_hi = static_cast<std::size_t>(
+        std::min<double>(static_cast<double>(s), cy + std::max(ra, rb) + 1.0));
+    for (std::size_t y = y_lo; y < y_hi; ++y) {
+      for (std::size_t x = 0; x < s; ++x) {
+        const double dx = static_cast<double>(x) - cx;
+        const double dy = static_cast<double>(y) - cy;
+        const double u = (ct * dx + st * dy) / ra;
+        const double v = (-st * dx + ct * dy) / rb;
+        if (u * u + v * v <= 1.0) out[y * s + x] += density;
+      }
+    }
+  }
+  for (float& v : out) v = std::min(v, 1.0f);
+}
+
+nn::Batchset make_tomo_batchset(const TomoConfig& config, std::size_t n,
+                                util::Rng& rng) {
+  const std::size_t s = config.size;
+  nn::Batchset out;
+  out.xs = nn::Tensor({n, 1, s, s});
+  out.ys = nn::Tensor({n, 1, s, s});
+  float* px = out.xs.data();
+  float* py = out.ys.data();
+  std::vector<float> clean(s * s);
+  for (std::size_t i = 0; i < n; ++i) {
+    render_phantom(config, rng, clean);
+    std::copy(clean.begin(), clean.end(), py + i * s * s);
+    float* frame = px + i * s * s;
+    for (std::size_t j = 0; j < s * s; ++j) {
+      // Low-dose acquisition: Poisson photon statistics + readout noise.
+      const double lambda = config.dose * static_cast<double>(clean[j]) + 0.5;
+      const double counts = static_cast<double>(rng.poisson(lambda));
+      frame[j] = static_cast<float>(
+          counts / config.dose + rng.gaussian(0.0, config.readout_noise));
+    }
+  }
+  return out;
+}
+
+}  // namespace fairdms::datagen

@@ -1,0 +1,34 @@
+// Synthetic tomography dataset.
+//
+// Substitution (DESIGN.md §4): the paper's tomography samples are 2048x2048
+// 16-bit synchrotron CT frames used purely as a *large-sample* storage/I-O
+// workload (Fig. 6) and as the denoising application example. We generate
+// random ellipse phantoms: the clean phantom is the label, a low-dose
+// Poisson + Gaussian corrupted version is the input. Image size is a config
+// knob; the I/O benches keep the paper's bytes-per-sample ordering
+// (tomography >> cookiebox >> bragg).
+#pragma once
+
+#include <cstddef>
+
+#include "nn/trainer.hpp"
+#include "util/rng.hpp"
+
+namespace fairdms::datagen {
+
+struct TomoConfig {
+  std::size_t size = 128;      ///< square image side (paper: 2048)
+  std::size_t max_ellipses = 12;
+  double dose = 18.0;          ///< mean photons per pixel at unit intensity
+  double readout_noise = 0.02; ///< additive Gaussian readout noise
+};
+
+/// xs [n, 1, S, S]: low-dose noisy frames; ys [n, 1, S, S]: clean phantoms.
+nn::Batchset make_tomo_batchset(const TomoConfig& config, std::size_t n,
+                                util::Rng& rng);
+
+/// Renders a single clean phantom into out (size*size floats in [0, 1]).
+void render_phantom(const TomoConfig& config, util::Rng& rng,
+                    std::span<float> out);
+
+}  // namespace fairdms::datagen

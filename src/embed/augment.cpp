@@ -1,0 +1,82 @@
+#include "embed/augment.hpp"
+
+#include "util/check.hpp"
+
+namespace fairdms::embed {
+
+std::vector<float> rotate90(std::span<const float> image, std::size_t size,
+                            int quarter_turns) {
+  FAIRDMS_CHECK(image.size() == size * size, "rotate90: bad image size");
+  const int q = ((quarter_turns % 4) + 4) % 4;
+  std::vector<float> out(image.begin(), image.end());
+  for (int t = 0; t < q; ++t) {
+    std::vector<float> next(out.size());
+    // (y, x) -> (x, size-1-y): counter-clockwise quarter turn.
+    for (std::size_t y = 0; y < size; ++y) {
+      for (std::size_t x = 0; x < size; ++x) {
+        next[(size - 1 - x) * size + y] = out[y * size + x];
+      }
+    }
+    out.swap(next);
+  }
+  return out;
+}
+
+std::vector<float> mirror_horizontal(std::span<const float> image,
+                                     std::size_t size) {
+  FAIRDMS_CHECK(image.size() == size * size, "mirror: bad image size");
+  std::vector<float> out(image.size());
+  for (std::size_t y = 0; y < size; ++y) {
+    for (std::size_t x = 0; x < size; ++x) {
+      out[y * size + (size - 1 - x)] = image[y * size + x];
+    }
+  }
+  return out;
+}
+
+std::vector<float> circular_shift(std::span<const float> image,
+                                  std::size_t size, int dx, int dy) {
+  FAIRDMS_CHECK(image.size() == size * size, "shift: bad image size");
+  const auto s = static_cast<int>(size);
+  std::vector<float> out(image.size());
+  for (int y = 0; y < s; ++y) {
+    const int sy = ((y + dy) % s + s) % s;
+    for (int x = 0; x < s; ++x) {
+      const int sx = ((x + dx) % s + s) % s;
+      out[static_cast<std::size_t>(sy) * size + static_cast<std::size_t>(sx)] =
+          image[static_cast<std::size_t>(y) * size +
+                static_cast<std::size_t>(x)];
+    }
+  }
+  return out;
+}
+
+std::vector<float> augment(std::span<const float> image, std::size_t size,
+                           const AugmentConfig& config, util::Rng& rng) {
+  std::vector<float> out(image.begin(), image.end());
+  if (config.rotate) {
+    const int q = static_cast<int>(rng.uniform_index(4));
+    if (q != 0) out = rotate90(out, size, q);
+  }
+  if (config.mirror && rng.uniform() < 0.5) {
+    out = mirror_horizontal(out, size);
+  }
+  if (config.max_shift > 0) {
+    const int span = static_cast<int>(config.max_shift);
+    const int dx = static_cast<int>(rng.uniform_index(
+                       static_cast<std::uint64_t>(2 * span + 1))) -
+                   span;
+    const int dy = static_cast<int>(rng.uniform_index(
+                       static_cast<std::uint64_t>(2 * span + 1))) -
+                   span;
+    if (dx != 0 || dy != 0) out = circular_shift(out, size, dx, dy);
+  }
+  const auto gain =
+      static_cast<float>(rng.gaussian(1.0, config.gain_sd));
+  for (float& v : out) {
+    v = v * gain + static_cast<float>(rng.gaussian(0.0, config.noise_sd));
+  }
+  return out;
+}
+
+}  // namespace fairdms::embed

@@ -1,0 +1,38 @@
+// Physics-inspired image augmentations for self-supervised training.
+//
+// The paper's §IV failure analysis motivates these: two Bragg peaks related
+// by a rotation are physically identical, so the embedding should be trained
+// to be invariant to rotations, mirrors, small shifts (detector jitter) and
+// noise (counting statistics). Augmentations operate on square single-channel
+// images stored row-major.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace fairdms::embed {
+
+struct AugmentConfig {
+  bool rotate = true;       ///< random multiple-of-90-degree rotation
+  bool mirror = true;       ///< random horizontal/vertical flip
+  std::size_t max_shift = 1;///< random circular shift up to +-max_shift px
+  double noise_sd = 0.02;   ///< additive Gaussian pixel noise
+  double gain_sd = 0.08;    ///< multiplicative intensity jitter
+};
+
+/// Applies a random augmentation drawn from `rng` to a size x size image.
+std::vector<float> augment(std::span<const float> image, std::size_t size,
+                           const AugmentConfig& config, util::Rng& rng);
+
+/// Deterministic building blocks (exposed for tests).
+std::vector<float> rotate90(std::span<const float> image, std::size_t size,
+                            int quarter_turns);
+std::vector<float> mirror_horizontal(std::span<const float> image,
+                                     std::size_t size);
+std::vector<float> circular_shift(std::span<const float> image,
+                                  std::size_t size, int dx, int dy);
+
+}  // namespace fairdms::embed

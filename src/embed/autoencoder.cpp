@@ -1,0 +1,78 @@
+#include "embed/autoencoder.hpp"
+
+#include <numeric>
+
+#include "nn/activations.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/optim.hpp"
+#include "nn/reshape.hpp"
+#include "nn/trainer.hpp"
+#include "util/check.hpp"
+
+namespace fairdms::embed {
+
+AutoencoderEmbedder::AutoencoderEmbedder(std::size_t image_size,
+                                         std::size_t dim, std::uint64_t seed,
+                                         std::size_t hidden)
+    : image_size_(image_size), dim_(dim), rng_(seed) {
+  const std::size_t in = image_size * image_size;
+  encoder_.emplace<nn::Flatten>();
+  encoder_.emplace<nn::Linear>(in, hidden, rng_);
+  encoder_.emplace<nn::ReLU>();
+  encoder_.emplace<nn::Linear>(hidden, dim, rng_);
+
+  decoder_.emplace<nn::Linear>(dim, hidden, rng_);
+  decoder_.emplace<nn::ReLU>();
+  decoder_.emplace<nn::Linear>(hidden, in, rng_);
+}
+
+double AutoencoderEmbedder::fit(const Tensor& xs,
+                                const EmbedTrainConfig& config) {
+  FAIRDMS_CHECK(xs.rank() == 4 && xs.dim(2) == image_size_ &&
+                    xs.dim(3) == image_size_,
+                "AutoencoderEmbedder::fit: expected [N,1,", image_size_, ",",
+                image_size_, "], got ", xs.shape_str());
+  const std::size_t n = xs.dim(0);
+  nn::Adam enc_opt(encoder_, config.learning_rate);
+  nn::Adam dec_opt(decoder_, config.learning_rate);
+
+  const Tensor flat_target =
+      xs.reshaped({n, image_size_ * image_size_});
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  double last_loss = 0.0;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng_.shuffle(order);
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t begin = 0; begin < n; begin += config.batch_size) {
+      const std::size_t end = std::min(n, begin + config.batch_size);
+      const std::span<const std::size_t> idx(order.data() + begin,
+                                             end - begin);
+      const Tensor xb = nn::gather_rows(xs, idx);
+      const Tensor tb = nn::gather_rows(flat_target, idx);
+
+      enc_opt.zero_grad();
+      dec_opt.zero_grad();
+      const Tensor z = encoder_.forward(xb, nn::Mode::kTrain);
+      const Tensor recon = decoder_.forward(z, nn::Mode::kTrain);
+      const nn::LossResult loss = nn::mse_loss(recon, tb);
+      const Tensor gz = decoder_.backward(loss.grad);
+      encoder_.backward(gz);
+      enc_opt.step();
+      dec_opt.step();
+      epoch_loss += loss.value;
+      ++batches;
+    }
+    last_loss = epoch_loss / static_cast<double>(std::max<std::size_t>(1, batches));
+  }
+  return last_loss;
+}
+
+Tensor AutoencoderEmbedder::embed(const Tensor& xs) {
+  return encoder_.forward(xs, nn::Mode::kEval);
+}
+
+}  // namespace fairdms::embed

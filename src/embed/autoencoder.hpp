@@ -1,0 +1,32 @@
+// Dense autoencoder embedder: encoder compresses the image to the embedding,
+// decoder reconstructs; trained with MSE. This is the paper's first-choice
+// embedding for CookieBox data — and its documented failure mode on Bragg
+// data (over-sensitivity to pixel-wise differences) is reproduced in
+// bench/abl_embedding.
+#pragma once
+
+#include "embed/embedder.hpp"
+#include "nn/sequential.hpp"
+#include "util/rng.hpp"
+
+namespace fairdms::embed {
+
+class AutoencoderEmbedder final : public Embedder {
+ public:
+  AutoencoderEmbedder(std::size_t image_size, std::size_t dim,
+                      std::uint64_t seed, std::size_t hidden = 128);
+
+  double fit(const Tensor& xs, const EmbedTrainConfig& config) override;
+  Tensor embed(const Tensor& xs) override;
+  [[nodiscard]] std::size_t embedding_dim() const override { return dim_; }
+  [[nodiscard]] std::string name() const override { return "autoencoder"; }
+
+ private:
+  std::size_t image_size_;
+  std::size_t dim_;
+  util::Rng rng_;
+  nn::Sequential encoder_;
+  nn::Sequential decoder_;
+};
+
+}  // namespace fairdms::embed

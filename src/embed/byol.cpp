@@ -1,0 +1,128 @@
+#include "embed/byol.hpp"
+
+#include <numeric>
+
+#include "nn/activations.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/optim.hpp"
+#include "nn/reshape.hpp"
+#include "nn/trainer.hpp"
+#include "util/check.hpp"
+
+namespace fairdms::embed {
+
+void ByolEmbedder::build_backbone(nn::Sequential& encoder,
+                                  nn::Sequential& projector, std::size_t in,
+                                  std::size_t hidden, std::size_t dim,
+                                  std::size_t projection_dim,
+                                  util::Rng& rng) {
+  encoder.emplace<nn::Flatten>();
+  encoder.emplace<nn::Linear>(in, hidden, rng);
+  encoder.emplace<nn::ReLU>();
+  encoder.emplace<nn::Linear>(hidden, dim, rng);
+
+  projector.emplace<nn::Linear>(dim, dim, rng);
+  projector.emplace<nn::ReLU>();
+  projector.emplace<nn::Linear>(dim, projection_dim, rng);
+}
+
+ByolEmbedder::ByolEmbedder(std::size_t image_size, std::size_t dim,
+                           std::uint64_t seed, std::size_t hidden,
+                           std::size_t projection_dim,
+                           AugmentConfig augment_config, float target_tau)
+    : image_size_(image_size),
+      dim_(dim),
+      rng_(seed),
+      augment_config_(augment_config),
+      tau_(target_tau) {
+  const std::size_t in = image_size * image_size;
+  build_backbone(online_encoder_, online_projector_, in, hidden, dim,
+                 projection_dim, rng_);
+  predictor_.emplace<nn::Linear>(projection_dim, projection_dim, rng_);
+  predictor_.emplace<nn::ReLU>();
+  predictor_.emplace<nn::Linear>(projection_dim, projection_dim, rng_);
+
+  build_backbone(target_encoder_, target_projector_, in, hidden, dim,
+                 projection_dim, rng_);
+  // Target starts as an exact copy of the online network.
+  target_encoder_.copy_parameters_from(online_encoder_);
+  target_projector_.copy_parameters_from(online_projector_);
+}
+
+double ByolEmbedder::fit(const Tensor& xs, const EmbedTrainConfig& config) {
+  FAIRDMS_CHECK(xs.rank() == 4 && xs.dim(2) == image_size_ &&
+                    xs.dim(3) == image_size_,
+                "ByolEmbedder::fit: bad input ", xs.shape_str());
+  const std::size_t n = xs.dim(0);
+  const std::size_t s = image_size_;
+  nn::Adam enc_opt(online_encoder_, config.learning_rate);
+  nn::Adam proj_opt(online_projector_, config.learning_rate);
+  nn::Adam pred_opt(predictor_, config.learning_rate);
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  double last_loss = 0.0;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng_.shuffle(order);
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t begin = 0; begin < n; begin += config.batch_size) {
+      const std::size_t end = std::min(n, begin + config.batch_size);
+      const std::size_t b = end - begin;
+      Tensor v1({b, 1, s, s});
+      Tensor v2({b, 1, s, s});
+      const float* px = xs.data();
+      for (std::size_t i = 0; i < b; ++i) {
+        const std::span<const float> img(px + order[begin + i] * s * s,
+                                         s * s);
+        const auto a1 = augment(img, s, augment_config_, rng_);
+        const auto a2 = augment(img, s, augment_config_, rng_);
+        std::copy(a1.begin(), a1.end(), v1.data() + i * s * s);
+        std::copy(a2.begin(), a2.end(), v2.data() + i * s * s);
+      }
+
+      // Symmetrized BYOL step: each view plays online once.
+      double step_loss = 0.0;
+      for (int swap = 0; swap < 2; ++swap) {
+        const Tensor& online_view = swap == 0 ? v1 : v2;
+        const Tensor& target_view = swap == 0 ? v2 : v1;
+
+        enc_opt.zero_grad();
+        proj_opt.zero_grad();
+        pred_opt.zero_grad();
+        const Tensor h = online_encoder_.forward(online_view,
+                                                 nn::Mode::kTrain);
+        const Tensor z = online_projector_.forward(h, nn::Mode::kTrain);
+        const Tensor p = predictor_.forward(z, nn::Mode::kTrain);
+        // Target branch in eval mode: stop-gradient by construction.
+        const Tensor ht =
+            target_encoder_.forward(target_view, nn::Mode::kEval);
+        const Tensor zt = target_projector_.forward(ht, nn::Mode::kEval);
+
+        const nn::LossResult loss = nn::byol_loss(p, zt);
+        const Tensor gz = predictor_.backward(loss.grad);
+        const Tensor gh = online_projector_.backward(gz);
+        online_encoder_.backward(gh);
+        enc_opt.step();
+        proj_opt.step();
+        pred_opt.step();
+        step_loss += loss.value;
+      }
+      // EMA target update after the optimizer step.
+      target_encoder_.ema_update_from(online_encoder_, tau_);
+      target_projector_.ema_update_from(online_projector_, tau_);
+      epoch_loss += step_loss / 2.0;
+      ++batches;
+    }
+    last_loss = epoch_loss / static_cast<double>(std::max<std::size_t>(1, batches));
+  }
+  return last_loss;
+}
+
+Tensor ByolEmbedder::embed(const Tensor& xs) {
+  return online_encoder_.forward(xs, nn::Mode::kEval);
+}
+
+}  // namespace fairdms::embed

@@ -1,0 +1,48 @@
+// BYOL embedder (Grill et al. 2020): online network (encoder + projector +
+// predictor) regresses the EMA target network's projection of a second view;
+// no negative pairs. The stop-gradient lives in byol_loss (gradient flows
+// only through the online branch). This is the method the paper lands on for
+// Bragg data after the autoencoder failure (§IV): trained with
+// physics-inspired augmentations, its embedding is rotation/noise-agnostic.
+#pragma once
+
+#include "embed/augment.hpp"
+#include "embed/embedder.hpp"
+#include "nn/sequential.hpp"
+#include "util/rng.hpp"
+
+namespace fairdms::embed {
+
+class ByolEmbedder final : public Embedder {
+ public:
+  ByolEmbedder(std::size_t image_size, std::size_t dim, std::uint64_t seed,
+               std::size_t hidden = 128, std::size_t projection_dim = 16,
+               AugmentConfig augment_config = {}, float target_tau = 0.02f);
+
+  double fit(const Tensor& xs, const EmbedTrainConfig& config) override;
+  Tensor embed(const Tensor& xs) override;
+  [[nodiscard]] std::size_t embedding_dim() const override { return dim_; }
+  [[nodiscard]] std::string name() const override { return "byol"; }
+
+  /// Target-network EMA coefficient (per-step pull toward the online net).
+  [[nodiscard]] float target_tau() const { return tau_; }
+
+ private:
+  static void build_backbone(nn::Sequential& encoder,
+                             nn::Sequential& projector, std::size_t in,
+                             std::size_t hidden, std::size_t dim,
+                             std::size_t projection_dim, util::Rng& rng);
+
+  std::size_t image_size_;
+  std::size_t dim_;
+  util::Rng rng_;
+  AugmentConfig augment_config_;
+  float tau_;
+  nn::Sequential online_encoder_;
+  nn::Sequential online_projector_;
+  nn::Sequential predictor_;
+  nn::Sequential target_encoder_;
+  nn::Sequential target_projector_;
+};
+
+}  // namespace fairdms::embed

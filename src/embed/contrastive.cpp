@@ -1,0 +1,100 @@
+#include "embed/contrastive.hpp"
+
+#include <numeric>
+
+#include "nn/activations.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/optim.hpp"
+#include "nn/reshape.hpp"
+#include "nn/trainer.hpp"
+#include "util/check.hpp"
+
+namespace fairdms::embed {
+
+ContrastiveEmbedder::ContrastiveEmbedder(std::size_t image_size,
+                                         std::size_t dim, std::uint64_t seed,
+                                         std::size_t hidden,
+                                         std::size_t projection_dim,
+                                         AugmentConfig augment_config,
+                                         float temperature)
+    : image_size_(image_size),
+      dim_(dim),
+      rng_(seed),
+      augment_config_(augment_config),
+      temperature_(temperature) {
+  const std::size_t in = image_size * image_size;
+  encoder_.emplace<nn::Flatten>();
+  encoder_.emplace<nn::Linear>(in, hidden, rng_);
+  encoder_.emplace<nn::ReLU>();
+  encoder_.emplace<nn::Linear>(hidden, dim, rng_);
+
+  projector_.emplace<nn::Linear>(dim, dim, rng_);
+  projector_.emplace<nn::ReLU>();
+  projector_.emplace<nn::Linear>(dim, projection_dim, rng_);
+}
+
+Tensor ContrastiveEmbedder::two_views(const Tensor& xs,
+                                      std::span<const std::size_t> indices) {
+  const std::size_t b = indices.size();
+  const std::size_t s = image_size_;
+  Tensor views({2 * b, 1, s, s});
+  float* pv = views.data();
+  const float* px = xs.data();
+  for (std::size_t i = 0; i < b; ++i) {
+    const std::span<const float> img(px + indices[i] * s * s, s * s);
+    const auto v1 = augment(img, s, augment_config_, rng_);
+    const auto v2 = augment(img, s, augment_config_, rng_);
+    std::copy(v1.begin(), v1.end(), pv + i * s * s);
+    std::copy(v2.begin(), v2.end(), pv + (b + i) * s * s);
+  }
+  return views;
+}
+
+double ContrastiveEmbedder::fit(const Tensor& xs,
+                                const EmbedTrainConfig& config) {
+  FAIRDMS_CHECK(xs.rank() == 4 && xs.dim(2) == image_size_ &&
+                    xs.dim(3) == image_size_,
+                "ContrastiveEmbedder::fit: bad input ", xs.shape_str());
+  const std::size_t n = xs.dim(0);
+  FAIRDMS_CHECK(n >= 2, "contrastive training needs >= 2 samples");
+  nn::Adam enc_opt(encoder_, config.learning_rate);
+  nn::Adam proj_opt(projector_, config.learning_rate);
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  double last_loss = 0.0;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng_.shuffle(order);
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t begin = 0; begin + 1 < n; begin += config.batch_size) {
+      const std::size_t end = std::min(n, begin + config.batch_size);
+      if (end - begin < 2) break;  // NT-Xent needs >= 2 pairs for negatives
+      const std::span<const std::size_t> idx(order.data() + begin,
+                                             end - begin);
+      const Tensor views = two_views(xs, idx);
+
+      enc_opt.zero_grad();
+      proj_opt.zero_grad();
+      const Tensor h = encoder_.forward(views, nn::Mode::kTrain);
+      const Tensor z = projector_.forward(h, nn::Mode::kTrain);
+      const nn::LossResult loss = nn::nt_xent_loss(z, temperature_);
+      const Tensor gh = projector_.backward(loss.grad);
+      encoder_.backward(gh);
+      enc_opt.step();
+      proj_opt.step();
+      epoch_loss += loss.value;
+      ++batches;
+    }
+    last_loss = epoch_loss / static_cast<double>(std::max<std::size_t>(1, batches));
+  }
+  return last_loss;
+}
+
+Tensor ContrastiveEmbedder::embed(const Tensor& xs) {
+  return encoder_.forward(xs, nn::Mode::kEval);
+}
+
+}  // namespace fairdms::embed

@@ -1,0 +1,39 @@
+// SimCLR-style contrastive embedder: two augmented views per sample, encoder
+// + projection head, NT-Xent objective over the 2B projections. The encoder
+// output (pre-projection) is the embedding, per SimCLR practice.
+#pragma once
+
+#include "embed/augment.hpp"
+#include "embed/embedder.hpp"
+#include "nn/sequential.hpp"
+#include "util/rng.hpp"
+
+namespace fairdms::embed {
+
+class ContrastiveEmbedder final : public Embedder {
+ public:
+  ContrastiveEmbedder(std::size_t image_size, std::size_t dim,
+                      std::uint64_t seed, std::size_t hidden = 128,
+                      std::size_t projection_dim = 16,
+                      AugmentConfig augment_config = {},
+                      float temperature = 0.5f);
+
+  double fit(const Tensor& xs, const EmbedTrainConfig& config) override;
+  Tensor embed(const Tensor& xs) override;
+  [[nodiscard]] std::size_t embedding_dim() const override { return dim_; }
+  [[nodiscard]] std::string name() const override { return "contrastive"; }
+
+ private:
+  /// Builds [2B, 1, S, S]: rows [0,B) are view-1, rows [B,2B) view-2.
+  Tensor two_views(const Tensor& xs, std::span<const std::size_t> indices);
+
+  std::size_t image_size_;
+  std::size_t dim_;
+  util::Rng rng_;
+  AugmentConfig augment_config_;
+  float temperature_;
+  nn::Sequential encoder_;
+  nn::Sequential projector_;
+};
+
+}  // namespace fairdms::embed

@@ -1,0 +1,42 @@
+// Embedder interface (paper §II-C): fairDMS ships autoencoder, contrastive
+// and BYOL embedding methods behind one interface; users select per
+// application or extend it with their own algorithm.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace fairdms::embed {
+
+using tensor::Tensor;
+
+struct EmbedTrainConfig {
+  std::size_t epochs = 8;
+  std::size_t batch_size = 64;
+  double learning_rate = 1e-3;
+};
+
+class Embedder {
+ public:
+  virtual ~Embedder() = default;
+
+  /// Trains the representation on unlabeled images xs [N, 1, S, S].
+  /// Returns the final training-objective value (algorithm-specific scale).
+  virtual double fit(const Tensor& xs, const EmbedTrainConfig& config) = 0;
+
+  /// Embeds images [N, 1, S, S] -> [N, embedding_dim()] (eval mode).
+  virtual Tensor embed(const Tensor& xs) = 0;
+
+  [[nodiscard]] virtual std::size_t embedding_dim() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Factory: "autoencoder" | "contrastive" | "byol". `image_size` is the
+/// square side S; `dim` the embedding width.
+std::unique_ptr<Embedder> make_embedder(const std::string& algorithm,
+                                        std::size_t image_size,
+                                        std::size_t dim, std::uint64_t seed);
+
+}  // namespace fairdms::embed

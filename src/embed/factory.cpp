@@ -1,0 +1,25 @@
+#include "embed/autoencoder.hpp"
+#include "embed/byol.hpp"
+#include "embed/contrastive.hpp"
+#include "embed/embedder.hpp"
+#include "util/check.hpp"
+
+namespace fairdms::embed {
+
+std::unique_ptr<Embedder> make_embedder(const std::string& algorithm,
+                                        std::size_t image_size,
+                                        std::size_t dim, std::uint64_t seed) {
+  if (algorithm == "autoencoder") {
+    return std::make_unique<AutoencoderEmbedder>(image_size, dim, seed);
+  }
+  if (algorithm == "contrastive") {
+    return std::make_unique<ContrastiveEmbedder>(image_size, dim, seed);
+  }
+  if (algorithm == "byol") {
+    return std::make_unique<ByolEmbedder>(image_size, dim, seed);
+  }
+  FAIRDMS_CHECK(false, "unknown embedding algorithm: ", algorithm);
+  return nullptr;
+}
+
+}  // namespace fairdms::embed

@@ -1,0 +1,360 @@
+#include "fairds/fairds.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "store/codec.hpp"
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace fairdms::fairds {
+
+namespace {
+
+store::Binary encode_floats(std::span<const float> values) {
+  static const store::RawCodec codec;
+  return codec.encode(values);
+}
+
+std::vector<float> decode_floats(const store::Binary& bytes) {
+  static const store::RawCodec codec;
+  std::vector<float> out;
+  codec.decode(bytes, out);
+  return out;
+}
+
+}  // namespace
+
+FairDS::FairDS(FairDSConfig config, store::DocStore& db)
+    : config_(std::move(config)),
+      db_(&db),
+      samples_(&db.collection(config_.collection)),
+      rng_(config_.seed) {
+  samples_->create_index("cluster");
+  samples_->create_index("dataset_id");
+}
+
+void FairDS::train_system_impl(const Tensor& xs, std::uint64_t seed) {
+  FAIRDMS_CHECK(xs.rank() == 4 && xs.dim(2) == config_.image_size &&
+                    xs.dim(3) == config_.image_size,
+                "FairDS: expected [N,1,", config_.image_size, ",",
+                config_.image_size, "], got ", xs.shape_str());
+  embedder_ = embed::make_embedder(config_.embedding_algorithm,
+                                   config_.image_size, config_.embedding_dim,
+                                   seed);
+  embedder_->fit(xs, config_.embed_train);
+  const Tensor embeddings = embedder_->embed(xs);
+
+  std::size_t k = config_.n_clusters;
+  if (k == 0) {
+    const auto elbow = cluster::elbow_k(
+        embeddings, config_.elbow_k_min,
+        std::min(config_.elbow_k_max, embeddings.dim(0)), seed);
+    k = elbow.best_k;
+    util::log_info("fairDS elbow selected K=", k);
+  }
+  cluster::KMeansConfig kc;
+  kc.k = k;
+  kc.seed = seed;
+  kmeans_ = cluster::kmeans_fit(embeddings, kc);
+}
+
+void FairDS::train_system(const Tensor& historical_xs) {
+  train_system_impl(historical_xs, config_.seed);
+}
+
+void FairDS::ingest(const Tensor& xs, const Tensor& ys,
+                    const std::string& dataset_id) {
+  FAIRDMS_CHECK(trained(), "FairDS::ingest before train_system");
+  FAIRDMS_CHECK(xs.rank() == 4 && ys.rank() >= 1 && xs.dim(0) == ys.dim(0),
+                "FairDS::ingest: xs/ys mismatch");
+  const std::size_t n = xs.dim(0);
+  const std::size_t pixels =
+      config_.image_size * config_.image_size;
+  // Labels of any rank are stored flattened per sample (image-valued labels
+  // like CookieNetAE's density maps included).
+  const std::size_t label_w = ys.numel() / n;
+  const Tensor embeddings = embedder_->embed(xs);
+  const auto assignments = kmeans_->assign_batch(embeddings);
+
+  std::vector<store::Value> docs;
+  docs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    store::Object doc;
+    doc["dataset_id"] = store::Value(dataset_id);
+    doc["cluster"] =
+        store::Value(static_cast<std::int64_t>(assignments[i]));
+    doc["embedding"] = store::Value(
+        encode_floats({embeddings.data() + i * config_.embedding_dim,
+                       config_.embedding_dim}));
+    doc["x"] = store::Value(encode_floats({xs.data() + i * pixels, pixels}));
+    doc["y"] =
+        store::Value(encode_floats({ys.data() + i * label_w, label_w}));
+    docs.emplace_back(std::move(doc));
+  }
+  samples_->insert_many(std::move(docs));
+}
+
+double FairDS::certainty(const Tensor& xs) const {
+  FAIRDMS_CHECK(trained(), "FairDS::certainty before train_system");
+  const Tensor embeddings = embedder_->embed(xs);
+  cluster::FuzzyConfig fuzzy;
+  fuzzy.fuzziness = config_.fuzziness;
+  return cluster::dataset_certainty(*kmeans_, embeddings, fuzzy);
+}
+
+bool FairDS::maybe_retrain(const Tensor& new_xs) {
+  FAIRDMS_CHECK(trained(), "FairDS::maybe_retrain before train_system");
+  const double c = certainty(new_xs);
+  if (c >= config_.certainty_threshold) return false;
+  util::log_info("fairDS retrain triggered (certainty ",
+                 static_cast<int>(c * 100.0), "% < ",
+                 static_cast<int>(config_.certainty_threshold * 100.0),
+                 "%)");
+
+  // Retrain the system plane on history + the new data, then re-assign the
+  // stored samples under the refreshed embedding/clustering.
+  Tensor history = stored_images();
+  Tensor combined;
+  if (history.empty()) {
+    combined = new_xs;
+  } else {
+    const std::size_t pixels = config_.image_size * config_.image_size;
+    const std::size_t total = history.dim(0) + new_xs.dim(0);
+    combined = Tensor({total, 1, config_.image_size, config_.image_size});
+    std::copy_n(history.data(), history.numel(), combined.data());
+    std::copy_n(new_xs.data(), new_xs.numel(),
+                combined.data() + history.dim(0) * pixels);
+  }
+  ++retrains_;
+  train_system_impl(combined, config_.seed + retrains_);
+
+  // Re-embed and re-assign every stored document.
+  std::vector<store::DocId> ids;
+  samples_->scan([&](store::DocId id, const store::Value&) {
+    ids.push_back(id);
+  });
+  const std::size_t pixels = config_.image_size * config_.image_size;
+  for (store::DocId id : ids) {
+    const auto doc = samples_->find_by_id(id);
+    if (!doc.has_value()) continue;
+    const auto x = decode_floats(doc->at("x").as_binary());
+    FAIRDMS_CHECK(x.size() == pixels, "stored sample has wrong pixel count");
+    Tensor img({1, 1, config_.image_size, config_.image_size});
+    std::copy(x.begin(), x.end(), img.data());
+    const Tensor e = embedder_->embed(img);
+    const std::size_t a = kmeans_->assign({e.data(), e.numel()});
+    samples_->update_field(id, "cluster",
+                           store::Value(static_cast<std::int64_t>(a)));
+    samples_->update_field(id, "embedding",
+                           store::Value(encode_floats({e.data(), e.numel()})));
+  }
+  return true;
+}
+
+Tensor FairDS::embed(const Tensor& xs) const {
+  FAIRDMS_CHECK(trained(), "FairDS::embed before train_system");
+  return embedder_->embed(xs);
+}
+
+std::vector<double> FairDS::distribution(const Tensor& xs) const {
+  FAIRDMS_CHECK(trained(), "FairDS::distribution before train_system");
+  const Tensor embeddings = embedder_->embed(xs);
+  return kmeans_->cluster_pdf(embeddings);
+}
+
+std::size_t FairDS::label_width() const {
+  std::size_t width = 0;
+  samples_->scan([&](store::DocId, const store::Value& doc) {
+    if (width == 0) {
+      width = decode_floats(doc.at("y").as_binary()).size();
+    }
+  });
+  FAIRDMS_CHECK(width > 0, "FairDS: no stored samples to infer label width");
+  return width;
+}
+
+nn::Batchset FairDS::fetch_samples(
+    const std::vector<store::DocId>& ids) const {
+  FAIRDMS_CHECK(!ids.empty(), "FairDS::fetch_samples: empty id list");
+  const std::size_t pixels = config_.image_size * config_.image_size;
+  nn::Batchset out;
+  bool first = true;
+  std::size_t label_w = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto doc = samples_->find_by_id(ids[i]);
+    FAIRDMS_CHECK(doc.has_value(), "FairDS: stored sample vanished");
+    const auto x = decode_floats(doc->at("x").as_binary());
+    const auto y = decode_floats(doc->at("y").as_binary());
+    if (first) {
+      label_w = y.size();
+      out.xs = Tensor({ids.size(), 1, config_.image_size, config_.image_size});
+      out.ys = Tensor({ids.size(), label_w});
+      first = false;
+    }
+    FAIRDMS_CHECK(x.size() == pixels && y.size() == label_w,
+                  "FairDS: inconsistent stored sample shapes");
+    std::copy(x.begin(), x.end(), out.xs.data() + i * pixels);
+    std::copy(y.begin(), y.end(), out.ys.data() + i * label_w);
+  }
+  return out;
+}
+
+nn::Batchset FairDS::lookup(const Tensor& xs, std::uint64_t seed) const {
+  FAIRDMS_CHECK(trained(), "FairDS::lookup before train_system");
+  FAIRDMS_CHECK(stored_count() > 0, "FairDS::lookup on empty store");
+  const std::size_t n = xs.dim(0);
+  const std::vector<double> pdf = distribution(xs);
+  util::Rng rng(seed);
+
+  // Integer per-cluster counts that sum to n (largest remainders).
+  const std::size_t k = pdf.size();
+  std::vector<std::size_t> want(k, 0);
+  std::vector<std::pair<double, std::size_t>> remainders;
+  std::size_t assigned = 0;
+  for (std::size_t c = 0; c < k; ++c) {
+    const double exact = pdf[c] * static_cast<double>(n);
+    want[c] = static_cast<std::size_t>(exact);
+    assigned += want[c];
+    remainders.emplace_back(exact - std::floor(exact), c);
+  }
+  std::sort(remainders.rbegin(), remainders.rend());
+  for (std::size_t i = 0; assigned < n && i < remainders.size(); ++i) {
+    ++want[remainders[i].second];
+    ++assigned;
+  }
+
+  // Draw randomly from each cluster's stored members (with replacement when
+  // a cluster is under-populated); clusters absent from history spill into
+  // the global pool.
+  std::vector<store::DocId> chosen;
+  chosen.reserve(n);
+  std::vector<store::DocId> global_pool;
+  for (std::size_t c = 0; c < k; ++c) {
+    if (want[c] == 0) continue;
+    const auto members = samples_->find_eq(
+        "cluster", store::Value(static_cast<std::int64_t>(c)));
+    if (members.empty()) {
+      if (global_pool.empty()) {
+        samples_->scan([&](store::DocId id, const store::Value&) {
+          global_pool.push_back(id);
+        });
+      }
+      for (std::size_t i = 0; i < want[c]; ++i) {
+        chosen.push_back(global_pool[rng.uniform_index(global_pool.size())]);
+      }
+      continue;
+    }
+    for (std::size_t i = 0; i < want[c]; ++i) {
+      chosen.push_back(members[rng.uniform_index(members.size())]);
+    }
+  }
+  return fetch_samples(chosen);
+}
+
+nn::Batchset FairDS::lookup_or_label(
+    const Tensor& xs, double threshold,
+    const std::function<Tensor(const Tensor&)>& fallback_labeler,
+    ReuseStats* stats) const {
+  FAIRDMS_CHECK(trained(), "FairDS::lookup_or_label before train_system");
+  const std::size_t n = xs.dim(0);
+  const std::size_t pixels = config_.image_size * config_.image_size;
+  const Tensor embeddings = embedder_->embed(xs);
+  const auto assignments = kmeans_->assign_batch(embeddings);
+
+  // Two-level search: cluster members first, then nearest-by-embedding
+  // within the cluster.
+  std::vector<std::size_t> fallback_rows;
+  nn::Batchset out;
+  out.xs = xs;
+  out.ys = Tensor({n, label_width()});
+  const std::size_t label_w = out.ys.dim(1);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto members = samples_->find_eq(
+        "cluster", store::Value(static_cast<std::int64_t>(assignments[i])));
+    double best = std::numeric_limits<double>::infinity();
+    store::DocId best_id = 0;
+    std::vector<float> best_x;
+    std::vector<float> best_y;
+    const float* e = embeddings.data() + i * config_.embedding_dim;
+    for (store::DocId id : members) {
+      const auto doc = samples_->find_by_id(id);
+      if (!doc.has_value()) continue;
+      const auto emb = decode_floats(doc->at("embedding").as_binary());
+      double d = 0.0;
+      for (std::size_t j = 0; j < emb.size(); ++j) {
+        const double diff = static_cast<double>(e[j]) - emb[j];
+        d += diff * diff;
+      }
+      d = std::sqrt(d);
+      if (d < best) {
+        best = d;
+        best_id = id;
+        best_x = decode_floats(doc->at("x").as_binary());
+        best_y = decode_floats(doc->at("y").as_binary());
+      }
+    }
+    if (best_id != 0 && best < threshold) {
+      // Paper §III-E: the reused entry is the *historical pair* {p, l(p)} —
+      // a consistent image/label pair from the store — not the new image
+      // with a borrowed label.
+      FAIRDMS_CHECK(best_y.size() == label_w, "stored label width mismatch");
+      FAIRDMS_CHECK(best_x.size() == pixels, "stored image size mismatch");
+      std::copy(best_x.begin(), best_x.end(), out.xs.data() + i * pixels);
+      std::copy(best_y.begin(), best_y.end(), out.ys.data() + i * label_w);
+      if (stats != nullptr) ++stats->reused;
+    } else {
+      fallback_rows.push_back(i);
+    }
+  }
+
+  if (!fallback_rows.empty()) {
+    Tensor pending({fallback_rows.size(), 1, config_.image_size,
+                    config_.image_size});
+    for (std::size_t j = 0; j < fallback_rows.size(); ++j) {
+      std::copy_n(xs.data() + fallback_rows[j] * pixels, pixels,
+                  pending.data() + j * pixels);
+    }
+    const Tensor computed = fallback_labeler(pending);
+    FAIRDMS_CHECK(computed.rank() == 2 &&
+                      computed.dim(0) == fallback_rows.size() &&
+                      computed.dim(1) == label_w,
+                  "fallback labeler returned wrong shape");
+    for (std::size_t j = 0; j < fallback_rows.size(); ++j) {
+      std::copy_n(computed.data() + j * label_w, label_w,
+                  out.ys.data() + fallback_rows[j] * label_w);
+    }
+    if (stats != nullptr) stats->computed += fallback_rows.size();
+  }
+  return out;
+}
+
+const cluster::KMeansModel& FairDS::clusters() const {
+  FAIRDMS_CHECK(kmeans_.has_value(), "FairDS::clusters before train_system");
+  return *kmeans_;
+}
+
+std::size_t FairDS::stored_count() const { return samples_->size(); }
+
+std::size_t FairDS::n_clusters() const {
+  return kmeans_.has_value() ? kmeans_->k() : 0;
+}
+
+Tensor FairDS::stored_images() const {
+  const std::size_t n = samples_->size();
+  if (n == 0) return Tensor();
+  const std::size_t pixels = config_.image_size * config_.image_size;
+  Tensor out({n, 1, config_.image_size, config_.image_size});
+  std::size_t i = 0;
+  samples_->scan([&](store::DocId, const store::Value& doc) {
+    const auto x = decode_floats(doc.at("x").as_binary());
+    FAIRDMS_CHECK(x.size() == pixels, "stored sample has wrong pixel count");
+    std::copy(x.begin(), x.end(), out.data() + i * pixels);
+    ++i;
+  });
+  return out;
+}
+
+}  // namespace fairdms::fairds

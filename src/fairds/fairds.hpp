@@ -1,0 +1,133 @@
+// fairDS — the FAIR data service (paper §II-A, Fig. 3).
+//
+// System plane: train the self-supervised embedding model on historical
+// images, cluster the embedding space with k-means (K chosen by the elbow
+// method when not fixed), and keep the labeled history in the document store
+// with each sample's embedding and cluster id. Monitor clustering certainty
+// (fuzzy k-means) and retrain embedding + clustering + re-ingest when
+// certainty drops below threshold.
+//
+// User plane: given unlabeled input data, compute its cluster-PDF
+// (`distribution`), retrieve a PDF-matched labeled dataset from history
+// (`lookup`), or reuse labels per-sample with a distance threshold and fall
+// back to a caller-provided conventional labeler (`lookup_or_label`,
+// the Fig. 9 workload).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/fuzzy.hpp"
+#include "cluster/kmeans.hpp"
+#include "embed/embedder.hpp"
+#include "nn/trainer.hpp"
+#include "store/docstore.hpp"
+#include "util/rng.hpp"
+
+namespace fairdms::fairds {
+
+using tensor::Tensor;
+
+struct FairDSConfig {
+  std::string embedding_algorithm = "byol";
+  std::size_t embedding_dim = 16;
+  std::size_t image_size = 15;        ///< square image side
+  std::size_t n_clusters = 0;         ///< 0 => elbow method
+  std::size_t elbow_k_min = 4;
+  std::size_t elbow_k_max = 18;
+  embed::EmbedTrainConfig embed_train;
+  double certainty_threshold = 0.8;   ///< Fig. 16's 80% retrain trigger
+  /// Fuzzy-k-means fuzziness (m). Lower = crisper memberships. 1.35 makes
+  /// "assigned with >= 50% confidence" a meaningful in-distribution signal
+  /// for K in the 8-15 range; the classic m = 2 is far too soft there.
+  double fuzziness = 1.35;
+  std::uint64_t seed = 42;
+  std::string collection = "fairds_samples";
+};
+
+/// Outcome of the per-sample reuse path (Fig. 9).
+struct ReuseStats {
+  std::size_t reused = 0;    ///< labels retrieved from history
+  std::size_t computed = 0;  ///< labels computed by the fallback labeler
+};
+
+class FairDS {
+ public:
+  FairDS(FairDSConfig config, store::DocStore& db);
+
+  // --- system plane --------------------------------------------------------
+
+  /// Trains the embedding model and the clustering model on historical
+  /// images [N, 1, S, S]. Must run before ingest/lookup.
+  void train_system(const Tensor& historical_xs);
+
+  /// Embeds, clusters, and stores labeled samples (xs [N,1,S,S], ys [N,L])
+  /// under `dataset_id`. Requires a trained system.
+  void ingest(const Tensor& xs, const Tensor& ys,
+              const std::string& dataset_id);
+
+  /// Fuzzy-k-means certainty of the current clustering on a dataset, in
+  /// [0, 1] (fraction of samples assigned with >= 50% membership).
+  [[nodiscard]] double certainty(const Tensor& xs) const;
+
+  /// The uncertainty-triggered update: if certainty(new_xs) falls below the
+  /// configured threshold, retrain embedding + clustering on all stored
+  /// images plus new_xs, re-assign stored samples, and return true.
+  bool maybe_retrain(const Tensor& new_xs);
+
+  // --- user plane ----------------------------------------------------------
+
+  /// Embeds images [N,1,S,S] -> [N, dim].
+  [[nodiscard]] Tensor embed(const Tensor& xs) const;
+
+  /// Cluster-PDF of a dataset — the representation used for store lookups
+  /// and for indexing models in the Zoo.
+  [[nodiscard]] std::vector<double> distribution(const Tensor& xs) const;
+
+  /// Retrieves |xs| labeled samples from history whose cluster distribution
+  /// matches the input's PDF (sampling per-cluster counts from the PDF).
+  [[nodiscard]] nn::Batchset lookup(const Tensor& xs,
+                                    std::uint64_t seed) const;
+
+  /// Per-sample reuse: for each input, the nearest stored sample within its
+  /// cluster is reused when its embedding distance is below `threshold`;
+  /// otherwise `fallback_labeler` computes the label ([M,1,S,S] -> [M,L]).
+  nn::Batchset lookup_or_label(
+      const Tensor& xs, double threshold,
+      const std::function<Tensor(const Tensor&)>& fallback_labeler,
+      ReuseStats* stats = nullptr) const;
+
+  // --- introspection -------------------------------------------------------
+  [[nodiscard]] bool trained() const { return embedder_ != nullptr; }
+  [[nodiscard]] const cluster::KMeansModel& clusters() const;
+  [[nodiscard]] std::size_t stored_count() const;
+  [[nodiscard]] std::size_t n_clusters() const;
+  [[nodiscard]] std::size_t retrain_count() const { return retrains_; }
+  [[nodiscard]] const FairDSConfig& config() const { return config_; }
+
+ private:
+  struct StoredSample {
+    store::DocId id;
+    std::vector<float> embedding;
+  };
+
+  void train_system_impl(const Tensor& xs, std::uint64_t seed);
+  /// All stored images as [N, 1, S, S] (system-plane retraining input).
+  [[nodiscard]] Tensor stored_images() const;
+  [[nodiscard]] nn::Batchset fetch_samples(
+      const std::vector<store::DocId>& ids) const;
+  [[nodiscard]] std::size_t label_width() const;
+
+  FairDSConfig config_;
+  store::DocStore* db_;
+  store::Collection* samples_;
+  std::unique_ptr<embed::Embedder> embedder_;
+  std::optional<cluster::KMeansModel> kmeans_;
+  mutable util::Rng rng_;
+  std::size_t retrains_ = 0;
+};
+
+}  // namespace fairdms::fairds

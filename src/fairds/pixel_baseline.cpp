@@ -1,0 +1,83 @@
+#include "fairds/pixel_baseline.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fairdms::fairds {
+
+void PixelNnBaseline::ingest(const nn::Tensor& xs, const nn::Tensor& ys) {
+  FAIRDMS_CHECK(xs.rank() == 4 && xs.dim(2) == image_size_ &&
+                    xs.dim(3) == image_size_,
+                "PixelNnBaseline::ingest: bad image shape ", xs.shape_str());
+  FAIRDMS_CHECK(xs.dim(0) == ys.dim(0), "ingest: xs/ys count mismatch");
+  const std::size_t pixels = image_size_ * image_size_;
+  const std::size_t label_w = ys.numel() / ys.dim(0);
+  const std::size_t old_n = stored_count();
+  const std::size_t add_n = xs.dim(0);
+
+  nn::Tensor new_images({old_n + add_n, pixels});
+  nn::Tensor new_labels({old_n + add_n, label_w});
+  if (old_n > 0) {
+    FAIRDMS_CHECK(labels_.dim(1) == label_w, "ingest: label width changed");
+    std::copy_n(images_.data(), images_.numel(), new_images.data());
+    std::copy_n(labels_.data(), labels_.numel(), new_labels.data());
+  }
+  std::copy_n(xs.data(), xs.numel(), new_images.data() + old_n * pixels);
+  std::copy_n(ys.data(), ys.numel(), new_labels.data() + old_n * label_w);
+  images_ = std::move(new_images);
+  labels_ = std::move(new_labels);
+}
+
+nn::Batchset PixelNnBaseline::lookup(const nn::Tensor& xs) const {
+  FAIRDMS_CHECK(stored_count() > 0, "PixelNnBaseline::lookup: empty store");
+  FAIRDMS_CHECK(xs.rank() == 4 && xs.dim(2) == image_size_ &&
+                    xs.dim(3) == image_size_,
+                "lookup: bad query shape ", xs.shape_str());
+  const std::size_t pixels = image_size_ * image_size_;
+  const std::size_t label_w = labels_.dim(1);
+  const std::size_t n = xs.dim(0);
+  const std::size_t stored = stored_count();
+
+  nn::Batchset out;
+  out.xs = nn::Tensor({n, 1, image_size_, image_size_});
+  out.ys = nn::Tensor({n, label_w});
+  const float* pq = xs.data();
+  const float* pi = images_.data();
+  const float* pl = labels_.data();
+  float* pox = out.xs.data();
+  float* poy = out.ys.data();
+
+  // Exhaustive scan per query — the O(|DB|) cost the paper objects to.
+  util::parallel_for(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t q = begin; q < end; ++q) {
+          const float* query = pq + q * pixels;
+          double best = std::numeric_limits<double>::infinity();
+          std::size_t best_i = 0;
+          for (std::size_t i = 0; i < stored; ++i) {
+            const float* candidate = pi + i * pixels;
+            double d = 0.0;
+            for (std::size_t j = 0; j < pixels; ++j) {
+              const double diff =
+                  static_cast<double>(query[j]) - candidate[j];
+              d += diff * diff;
+              if (d >= best) break;  // early abandon
+            }
+            if (d < best) {
+              best = d;
+              best_i = i;
+            }
+          }
+          std::copy_n(pi + best_i * pixels, pixels, pox + q * pixels);
+          std::copy_n(pl + best_i * label_w, label_w, poy + q * label_w);
+        }
+      },
+      /*min_grain=*/1);
+  return out;
+}
+
+}  // namespace fairdms::fairds

@@ -1,0 +1,41 @@
+// Instance-discrimination retrieval baseline (paper §II-A).
+//
+// The naive alternative to fairDS's embedding index: store raw images and
+// answer "find similar labeled data" by pixel-by-pixel L2 nearest neighbour.
+// The paper rejects it for two measured reasons — it is *fragile* (a rotated
+// or shifted copy of an image lands far away in pixel space) and *expensive*
+// (every query scans the whole database). This class exists to make both
+// failure modes reproducible (bench/abl_retrieval).
+#pragma once
+
+#include <cstddef>
+
+#include "nn/trainer.hpp"
+
+namespace fairdms::fairds {
+
+class PixelNnBaseline {
+ public:
+  /// image_size: square side of stored/query images.
+  explicit PixelNnBaseline(std::size_t image_size)
+      : image_size_(image_size) {}
+
+  /// Adds labeled history (xs [N,1,S,S], ys [N,L]).
+  void ingest(const nn::Tensor& xs, const nn::Tensor& ys);
+
+  /// For each query row, the stored pair {p, l(p)} nearest in raw pixel
+  /// space (exhaustive scan, like the paper's "pixel-by-pixel intensity
+  /// vector comparisons").
+  [[nodiscard]] nn::Batchset lookup(const nn::Tensor& xs) const;
+
+  [[nodiscard]] std::size_t stored_count() const {
+    return images_.empty() ? 0 : images_.dim(0);
+  }
+
+ private:
+  std::size_t image_size_;
+  nn::Tensor images_;  ///< [N, S*S]
+  nn::Tensor labels_;  ///< [N, L]
+};
+
+}  // namespace fairdms::fairds

@@ -1,0 +1,51 @@
+#include "fairms/jsd.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace fairdms::fairms {
+
+namespace {
+std::vector<double> normalized(std::span<const double> p) {
+  double total = 0.0;
+  for (double v : p) {
+    FAIRDMS_CHECK(v >= 0.0, "distribution has negative mass");
+    total += v;
+  }
+  FAIRDMS_CHECK(total > 0.0, "distribution has zero mass");
+  std::vector<double> out(p.begin(), p.end());
+  for (double& v : out) v /= total;
+  return out;
+}
+}  // namespace
+
+double kl_divergence(std::span<const double> p, std::span<const double> q) {
+  FAIRDMS_CHECK(p.size() == q.size(), "KL: size mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p[i] <= 0.0) continue;
+    FAIRDMS_CHECK(q[i] > 0.0, "KL: q does not dominate p at bin ", i);
+    sum += p[i] * std::log2(p[i] / q[i]);
+  }
+  return sum;
+}
+
+double jensen_shannon_divergence(std::span<const double> p,
+                                 std::span<const double> q) {
+  FAIRDMS_CHECK(p.size() == q.size(), "JSD: size mismatch (", p.size(),
+                " vs ", q.size(), ")");
+  const std::vector<double> pn = normalized(p);
+  const std::vector<double> qn = normalized(q);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < pn.size(); ++i) {
+    const double m = 0.5 * (pn[i] + qn[i]);
+    if (pn[i] > 0.0) sum += 0.5 * pn[i] * std::log2(pn[i] / m);
+    if (qn[i] > 0.0) sum += 0.5 * qn[i] * std::log2(qn[i] / m);
+  }
+  // Clamp tiny negative rounding residue.
+  return sum < 0.0 ? 0.0 : sum;
+}
+
+}  // namespace fairdms::fairms

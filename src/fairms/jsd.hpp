@@ -1,0 +1,19 @@
+// Jensen–Shannon divergence between discrete distributions (paper §II-B).
+// Base-2 logarithm, so JSD(p, q) is bounded in [0, 1]: 0 for identical
+// distributions, 1 for distributions with disjoint support.
+#pragma once
+
+#include <span>
+
+namespace fairdms::fairms {
+
+/// KL(p || q) in bits; q must dominate p (q_i == 0 => p_i == 0). Terms with
+/// p_i == 0 contribute zero.
+double kl_divergence(std::span<const double> p, std::span<const double> q);
+
+/// JSD(p, q) = (KL(p||m) + KL(q||m)) / 2 with m = (p+q)/2, in bits.
+/// Inputs are normalized internally (all-zero inputs abort).
+double jensen_shannon_divergence(std::span<const double> p,
+                                 std::span<const double> q);
+
+}  // namespace fairdms::fairms

@@ -1,0 +1,112 @@
+#include "fairms/zoo.hpp"
+
+#include <algorithm>
+
+#include "fairms/jsd.hpp"
+#include "util/check.hpp"
+
+namespace fairdms::fairms {
+
+namespace {
+
+store::Value pdf_to_value(const std::vector<double>& pdf) {
+  store::Array arr;
+  arr.reserve(pdf.size());
+  for (double v : pdf) arr.emplace_back(v);
+  return store::Value(std::move(arr));
+}
+
+std::vector<double> value_to_pdf(const store::Value& v) {
+  std::vector<double> pdf;
+  pdf.reserve(v.as_array().size());
+  for (const store::Value& e : v.as_array()) pdf.push_back(e.as_double());
+  return pdf;
+}
+
+ModelRecord record_from_doc(store::DocId id, const store::Value& doc) {
+  ModelRecord r;
+  r.id = id;
+  r.architecture = doc.at("architecture").as_string();
+  r.dataset_id = doc.at("dataset_id").as_string();
+  r.train_pdf = value_to_pdf(doc.at("train_pdf"));
+  r.parameters = doc.at("parameters").as_binary();
+  return r;
+}
+
+}  // namespace
+
+ModelZoo::ModelZoo(store::DocStore& db)
+    : collection_(&db.collection("model_zoo")) {
+  collection_->create_index("architecture");
+}
+
+store::DocId ModelZoo::publish(const std::string& architecture,
+                               const std::string& dataset_id,
+                               const std::vector<double>& train_pdf,
+                               std::vector<std::uint8_t> parameters) {
+  FAIRDMS_CHECK(!train_pdf.empty(), "publish: empty training PDF");
+  FAIRDMS_CHECK(!parameters.empty(), "publish: empty parameter blob");
+  store::Object doc;
+  doc["architecture"] = store::Value(architecture);
+  doc["dataset_id"] = store::Value(dataset_id);
+  doc["train_pdf"] = pdf_to_value(train_pdf);
+  doc["parameters"] = store::Value(store::Binary(std::move(parameters)));
+  return collection_->insert_one(store::Value(std::move(doc)));
+}
+
+std::optional<ModelRecord> ModelZoo::fetch(store::DocId id) const {
+  const auto doc = collection_->find_by_id(id);
+  if (!doc.has_value()) return std::nullopt;
+  return record_from_doc(id, *doc);
+}
+
+std::vector<ModelRecord> ModelZoo::models_of(
+    const std::string& architecture) const {
+  std::vector<ModelRecord> out;
+  for (store::DocId id :
+       collection_->find_eq("architecture", store::Value(architecture))) {
+    const auto doc = collection_->find_by_id(id);
+    if (doc.has_value()) out.push_back(record_from_doc(id, *doc));
+  }
+  return out;
+}
+
+bool ModelZoo::reindex(store::DocId id, const std::vector<double>& train_pdf) {
+  return collection_->update_field(id, "train_pdf", pdf_to_value(train_pdf));
+}
+
+std::size_t ModelZoo::size() const { return collection_->size(); }
+
+ModelManager::ModelManager(const ModelZoo& zoo, double distance_threshold)
+    : zoo_(&zoo), threshold_(distance_threshold) {
+  FAIRDMS_CHECK(distance_threshold > 0.0 && distance_threshold <= 1.0,
+                "distance threshold must be in (0, 1]");
+}
+
+std::vector<Ranked> ModelManager::rank(
+    const std::string& architecture,
+    std::span<const double> input_pdf) const {
+  std::vector<Ranked> out;
+  for (const ModelRecord& record : zoo_->models_of(architecture)) {
+    if (record.train_pdf.size() != input_pdf.size()) continue;  // stale index
+    out.push_back(Ranked{
+        record.id,
+        jensen_shannon_divergence(input_pdf, record.train_pdf)});
+  }
+  std::sort(out.begin(), out.end(), [](const Ranked& a, const Ranked& b) {
+    return a.distance < b.distance;
+  });
+  return out;
+}
+
+std::optional<Ranked> ModelManager::recommend(
+    const std::string& architecture,
+    std::span<const double> input_pdf) const {
+  const auto ranked = rank(architecture, input_pdf);
+  if (ranked.empty() || ranked.front().distance > threshold_) {
+    return std::nullopt;
+  }
+  return ranked.front();
+}
+
+}  // namespace fairdms::fairms

@@ -1,0 +1,83 @@
+// fairMS model Zoo (paper §II-B, Fig. 4): every trained model is stored with
+// the *cluster-PDF of its training dataset* as its index key, so the best
+// foundation for fine-tuning can be found without running any inference —
+// just a JSD comparison of distributions.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "store/docstore.hpp"
+
+namespace fairdms::fairms {
+
+struct ModelRecord {
+  store::DocId id = 0;
+  std::string architecture;   ///< model family key (e.g. "braggnn")
+  std::string dataset_id;     ///< provenance of the training data
+  std::vector<double> train_pdf;  ///< cluster PDF of the training dataset
+  std::vector<std::uint8_t> parameters;  ///< nn::save_parameters blob
+};
+
+class ModelZoo {
+ public:
+  /// Models live in the "model_zoo" collection of `db`, indexed by
+  /// architecture.
+  explicit ModelZoo(store::DocStore& db);
+
+  /// Publishes a trained model; returns its zoo id.
+  store::DocId publish(const std::string& architecture,
+                       const std::string& dataset_id,
+                       const std::vector<double>& train_pdf,
+                       std::vector<std::uint8_t> parameters);
+
+  [[nodiscard]] std::optional<ModelRecord> fetch(store::DocId id) const;
+
+  /// All models of one architecture (metadata + parameters).
+  [[nodiscard]] std::vector<ModelRecord> models_of(
+      const std::string& architecture) const;
+
+  /// Replaces the stored training-data distribution of a model (the system
+  /// plane re-indexes the zoo after the clustering model is retrained).
+  bool reindex(store::DocId id, const std::vector<double>& train_pdf);
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  store::Collection* collection_;
+};
+
+/// Ranks zoo models by JSD between their training-data PDF and an input
+/// dataset's PDF. The paper's Model Manager.
+struct Ranked {
+  store::DocId model_id = 0;
+  double distance = 0.0;  ///< JSD in [0, 1]
+};
+
+class ModelManager {
+ public:
+  /// `distance_threshold`: if even the closest model is farther than this,
+  /// recommend() declines and the caller trains from scratch (paper §II-C).
+  ModelManager(const ModelZoo& zoo, double distance_threshold = 0.5);
+
+  /// All models of `architecture` whose PDF length matches, ascending by
+  /// distance. Models indexed under a different clustering are skipped.
+  [[nodiscard]] std::vector<Ranked> rank(
+      const std::string& architecture,
+      std::span<const double> input_pdf) const;
+
+  /// Closest model if within threshold; nullopt => train from scratch.
+  [[nodiscard]] std::optional<Ranked> recommend(
+      const std::string& architecture,
+      std::span<const double> input_pdf) const;
+
+  [[nodiscard]] double distance_threshold() const { return threshold_; }
+
+ private:
+  const ModelZoo* zoo_;
+  double threshold_;
+};
+
+}  // namespace fairdms::fairms

@@ -1,0 +1,89 @@
+#include "models/models.hpp"
+
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dropout.hpp"
+#include "nn/linear.hpp"
+#include "nn/pool.hpp"
+#include "nn/reshape.hpp"
+#include "nn/upsample.hpp"
+#include "util/check.hpp"
+
+namespace fairdms::models {
+
+TaskModel make_braggnn(std::uint64_t seed, std::size_t patch_size) {
+  FAIRDMS_CHECK(patch_size >= 7, "BraggNN needs patches >= 7px");
+  TaskModel model;
+  model.architecture = "braggnn";
+  model.rng = std::make_unique<util::Rng>(seed);
+  util::Rng& rng = *model.rng;
+
+  // Two valid (unpadded) 3x3 conv stages, then an MLP head with dropout —
+  // the BraggNN shape at reduced width for CPU training.
+  const std::size_t s1 = patch_size - 2;
+  const std::size_t s2 = s1 - 2;
+  model.net.emplace<nn::Conv2d>(1, 8, 3, rng);
+  model.net.emplace<nn::ReLU>();
+  model.net.emplace<nn::Conv2d>(8, 16, 3, rng);
+  model.net.emplace<nn::ReLU>();
+  model.net.emplace<nn::Flatten>();
+  model.net.emplace<nn::Linear>(16 * s2 * s2, 64, rng);
+  model.net.emplace<nn::ReLU>();
+  model.net.emplace<nn::Dropout>(0.1f, rng);
+  model.net.emplace<nn::Linear>(64, 16, rng);
+  model.net.emplace<nn::ReLU>();
+  model.net.emplace<nn::Linear>(16, 2, rng);
+  return model;
+}
+
+TaskModel make_cookienetae(std::uint64_t seed, std::size_t image_size) {
+  FAIRDMS_CHECK(image_size % 2 == 0, "CookieNetAE needs an even image size");
+  TaskModel model;
+  model.architecture = "cookienetae";
+  model.rng = std::make_unique<util::Rng>(seed);
+  util::Rng& rng = *model.rng;
+
+  // Autoencoder with a dense bottleneck (the "AE" in CookieNetAE): the
+  // bottleneck forces a dataset-specific prior over spectra, which is what
+  // makes foundation choice matter when fine-tuning (Figs. 11, 13).
+  const std::size_t half = image_size / 2;
+  const std::size_t latent_in = 6 * half * half;
+  model.net.emplace<nn::Conv2d>(1, 6, 3, rng, /*stride=*/1, /*padding=*/1);
+  model.net.emplace<nn::ReLU>();
+  model.net.emplace<nn::MaxPool2d>(2);
+  model.net.emplace<nn::Flatten>();
+  model.net.emplace<nn::Linear>(latent_in, 48, rng);
+  model.net.emplace<nn::ReLU>();
+  model.net.emplace<nn::Dropout>(0.05f, rng);
+  model.net.emplace<nn::Linear>(48, latent_in, rng);
+  model.net.emplace<nn::ReLU>();
+  model.net.emplace<nn::Unflatten>(6, half, half);
+  model.net.emplace<nn::Upsample2d>(2);
+  model.net.emplace<nn::Conv2d>(6, 1, 3, rng, 1, 1);
+  return model;
+}
+
+TaskModel make_tomonet(std::uint64_t seed) {
+  TaskModel model;
+  model.architecture = "tomonet";
+  model.rng = std::make_unique<util::Rng>(seed);
+  util::Rng& rng = *model.rng;
+
+  model.net.emplace<nn::Conv2d>(1, 8, 3, rng, 1, 1);
+  model.net.emplace<nn::ReLU>();
+  model.net.emplace<nn::Conv2d>(8, 8, 3, rng, 1, 1);
+  model.net.emplace<nn::ReLU>();
+  model.net.emplace<nn::Conv2d>(8, 1, 3, rng, 1, 1);
+  return model;
+}
+
+TaskModel make_model(const std::string& architecture, std::uint64_t seed,
+                     std::size_t patch_size) {
+  if (architecture == "braggnn") return make_braggnn(seed, patch_size);
+  if (architecture == "cookienetae") return make_cookienetae(seed, patch_size);
+  if (architecture == "tomonet") return make_tomonet(seed);
+  FAIRDMS_CHECK(false, "unknown architecture: ", architecture);
+  return TaskModel{};
+}
+
+}  // namespace fairdms::models

@@ -1,0 +1,43 @@
+// Task-model factories for the paper's benchmark applications.
+//
+//  * BraggNN (Liu et al., IUCrJ 2022): small conv net regressing the
+//    sub-pixel center of mass of a Bragg peak from a 15x15 patch — the fast
+//    surrogate for pseudo-Voigt fitting.
+//  * CookieNetAE: conv encoder-decoder estimating the smooth energy-angle
+//    probability density from a noisy CookieBox histogram image.
+//  * TomoNet (TomoGAN-style): conv denoiser for low-dose tomography frames.
+//
+// Each model owns its RNG (dropout needs one at inference for MC sampling),
+// so the factory returns a TaskModel wrapper whose RNG outlives the layers.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "nn/sequential.hpp"
+#include "util/rng.hpp"
+
+namespace fairdms::models {
+
+struct TaskModel {
+  std::string architecture;
+  std::unique_ptr<util::Rng> rng;  ///< owned; referenced by Dropout layers
+  nn::Sequential net;
+};
+
+/// BraggNN analog: [N,1,S,S] -> [N,2] normalized peak center.
+TaskModel make_braggnn(std::uint64_t seed, std::size_t patch_size = 15);
+
+/// CookieNetAE analog: [N,1,S,S] -> [N,1,S,S] energy-density estimate
+/// (autoencoder with a dense bottleneck; S must be even).
+TaskModel make_cookienetae(std::uint64_t seed, std::size_t image_size = 32);
+
+/// TomoNet analog: [N,1,S,S] -> [N,1,S,S] denoised frame.
+TaskModel make_tomonet(std::uint64_t seed);
+
+/// Factory by architecture name ("braggnn" | "cookienetae" | "tomonet") —
+/// the key the model Zoo stores records under.
+TaskModel make_model(const std::string& architecture, std::uint64_t seed,
+                     std::size_t patch_size = 15);
+
+}  // namespace fairdms::models

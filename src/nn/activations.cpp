@@ -1,0 +1,81 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fairdms::nn {
+
+Tensor ReLU::forward(const Tensor& x, Mode mode) {
+  if (mode == Mode::kTrain) cached_input_ = x;
+  Tensor y = x;
+  for (float& v : y.flat()) v = v > 0.0f ? v : 0.0f;
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  FAIRDMS_CHECK(!cached_input_.empty(), "ReLU::backward before forward");
+  Tensor gx = grad_out;
+  const float* in = cached_input_.data();
+  float* g = gx.data();
+  for (std::size_t i = 0; i < gx.numel(); ++i) {
+    if (in[i] <= 0.0f) g[i] = 0.0f;
+  }
+  return gx;
+}
+
+Tensor LeakyReLU::forward(const Tensor& x, Mode mode) {
+  if (mode == Mode::kTrain) cached_input_ = x;
+  Tensor y = x;
+  for (float& v : y.flat()) v = v > 0.0f ? v : slope_ * v;
+  return y;
+}
+
+Tensor LeakyReLU::backward(const Tensor& grad_out) {
+  FAIRDMS_CHECK(!cached_input_.empty(), "LeakyReLU::backward before forward");
+  Tensor gx = grad_out;
+  const float* in = cached_input_.data();
+  float* g = gx.data();
+  for (std::size_t i = 0; i < gx.numel(); ++i) {
+    if (in[i] <= 0.0f) g[i] *= slope_;
+  }
+  return gx;
+}
+
+Tensor Sigmoid::forward(const Tensor& x, Mode mode) {
+  Tensor y = x;
+  for (float& v : y.flat()) v = 1.0f / (1.0f + std::exp(-v));
+  if (mode == Mode::kTrain) cached_output_ = y;
+  return y;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_out) {
+  FAIRDMS_CHECK(!cached_output_.empty(), "Sigmoid::backward before forward");
+  Tensor gx = grad_out;
+  const float* out = cached_output_.data();
+  float* g = gx.data();
+  for (std::size_t i = 0; i < gx.numel(); ++i) {
+    g[i] *= out[i] * (1.0f - out[i]);
+  }
+  return gx;
+}
+
+Tensor Tanh::forward(const Tensor& x, Mode mode) {
+  Tensor y = x;
+  for (float& v : y.flat()) v = std::tanh(v);
+  if (mode == Mode::kTrain) cached_output_ = y;
+  return y;
+}
+
+Tensor Tanh::backward(const Tensor& grad_out) {
+  FAIRDMS_CHECK(!cached_output_.empty(), "Tanh::backward before forward");
+  Tensor gx = grad_out;
+  const float* out = cached_output_.data();
+  float* g = gx.data();
+  for (std::size_t i = 0; i < gx.numel(); ++i) {
+    g[i] *= 1.0f - out[i] * out[i];
+  }
+  return gx;
+}
+
+}  // namespace fairdms::nn

@@ -1,0 +1,207 @@
+#include "nn/conv2d.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <mutex>
+
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fairdms::nn {
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, util::Rng& rng, std::size_t stride,
+               std::size_t padding)
+    : in_c_(in_channels),
+      out_c_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      weight_({out_channels, in_channels * kernel * kernel}),
+      bias_({out_channels}),
+      grad_weight_({out_channels, in_channels * kernel * kernel}),
+      grad_bias_({out_channels}) {
+  FAIRDMS_CHECK(kernel >= 1 && stride >= 1, "Conv2d: bad kernel/stride");
+  const auto fan_in = static_cast<float>(in_channels * kernel * kernel);
+  const float bound = std::sqrt(6.0f / fan_in);
+  weight_ = Tensor::rand_uniform(weight_.shape(), rng, -bound, bound);
+}
+
+void Conv2d::im2col(const float* img, std::size_t h, std::size_t w,
+                    float* cols) const {
+  const std::size_t oh = out_size(h);
+  const std::size_t ow = out_size(w);
+  const std::size_t plane = h * w;
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < in_c_; ++c) {
+    for (std::size_t ky = 0; ky < kernel_; ++ky) {
+      for (std::size_t kx = 0; kx < kernel_; ++kx, ++row) {
+        float* dst = cols + row * (oh * ow);
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
+              static_cast<std::ptrdiff_t>(padding_);
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(ox * stride_ + kx) -
+                static_cast<std::ptrdiff_t>(padding_);
+            const bool inside = iy >= 0 && iy < static_cast<std::ptrdiff_t>(h) &&
+                                ix >= 0 && ix < static_cast<std::ptrdiff_t>(w);
+            dst[oy * ow + ox] =
+                inside ? img[c * plane +
+                             static_cast<std::size_t>(iy) * w +
+                             static_cast<std::size_t>(ix)]
+                       : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void Conv2d::col2im(const float* cols, std::size_t h, std::size_t w,
+                    float* img) const {
+  const std::size_t oh = out_size(h);
+  const std::size_t ow = out_size(w);
+  const std::size_t plane = h * w;
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < in_c_; ++c) {
+    for (std::size_t ky = 0; ky < kernel_; ++ky) {
+      for (std::size_t kx = 0; kx < kernel_; ++kx, ++row) {
+        const float* src = cols + row * (oh * ow);
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
+              static_cast<std::ptrdiff_t>(padding_);
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(ox * stride_ + kx) -
+                static_cast<std::ptrdiff_t>(padding_);
+            if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+            img[c * plane + static_cast<std::size_t>(iy) * w +
+                static_cast<std::size_t>(ix)] += src[oy * ow + ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor Conv2d::forward(const Tensor& x, Mode mode) {
+  FAIRDMS_CHECK(x.rank() == 4 && x.dim(1) == in_c_,
+                "Conv2d: expected [N, ", in_c_, ", H, W], got ", x.shape_str());
+  const std::size_t n = x.dim(0);
+  const std::size_t h = x.dim(2);
+  const std::size_t w = x.dim(3);
+  const std::size_t oh = out_size(h);
+  const std::size_t ow = out_size(w);
+  FAIRDMS_CHECK(oh > 0 && ow > 0, "Conv2d: output collapsed to zero for ",
+                x.shape_str());
+  if (mode == Mode::kTrain) cached_input_ = x;
+
+  const std::size_t col_rows = in_c_ * kernel_ * kernel_;
+  const std::size_t col_cols = oh * ow;
+  Tensor y({n, out_c_, oh, ow});
+  const float* px = x.data();
+  float* py = y.data();
+  const float* pw = weight_.data();
+  const float* pb = bias_.data();
+
+  util::ThreadPool::global().parallel_for(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<float> cols(col_rows * col_cols);
+        for (std::size_t i = begin; i < end; ++i) {
+          im2col(px + i * in_c_ * h * w, h, w, cols.data());
+          float* out = py + i * out_c_ * col_cols;
+          // out[oc, :] = W[oc, :] . cols + b[oc]
+          for (std::size_t oc = 0; oc < out_c_; ++oc) {
+            float* orow = out + oc * col_cols;
+            std::fill(orow, orow + col_cols, pb[oc]);
+            const float* wrow = pw + oc * col_rows;
+            for (std::size_t r = 0; r < col_rows; ++r) {
+              const float wv = wrow[r];
+              if (wv == 0.0f) continue;
+              const float* crow = cols.data() + r * col_cols;
+              for (std::size_t j = 0; j < col_cols; ++j) orow[j] += wv * crow[j];
+            }
+          }
+        }
+      },
+      /*min_grain=*/1);
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  FAIRDMS_CHECK(!cached_input_.empty(), "Conv2d::backward before forward");
+  const Tensor& x = cached_input_;
+  const std::size_t n = x.dim(0);
+  const std::size_t h = x.dim(2);
+  const std::size_t w = x.dim(3);
+  const std::size_t oh = out_size(h);
+  const std::size_t ow = out_size(w);
+  FAIRDMS_CHECK(grad_out.rank() == 4 && grad_out.dim(0) == n &&
+                    grad_out.dim(1) == out_c_ && grad_out.dim(2) == oh &&
+                    grad_out.dim(3) == ow,
+                "Conv2d: bad grad shape ", grad_out.shape_str());
+
+  const std::size_t col_rows = in_c_ * kernel_ * kernel_;
+  const std::size_t col_cols = oh * ow;
+  Tensor grad_x(x.shape());
+  const float* px = x.data();
+  const float* pg = grad_out.data();
+  float* pgx = grad_x.data();
+  const float* pw = weight_.data();
+
+  // Per-chunk weight/bias gradient accumulators are merged under a mutex so
+  // results do not depend on thread interleaving order within a chunk.
+  std::mutex merge_mutex;
+  util::ThreadPool::global().parallel_for_chunked(
+      n,
+      [&](std::size_t /*chunk*/, std::size_t begin, std::size_t end) {
+        std::vector<float> cols(col_rows * col_cols);
+        std::vector<float> gcols(col_rows * col_cols);
+        Tensor local_gw(grad_weight_.shape());
+        Tensor local_gb(grad_bias_.shape());
+        float* lgw = local_gw.data();
+        float* lgb = local_gb.data();
+        for (std::size_t i = begin; i < end; ++i) {
+          im2col(px + i * in_c_ * h * w, h, w, cols.data());
+          const float* gout = pg + i * out_c_ * col_cols;
+          // dW[oc, r] += sum_j gout[oc, j] * cols[r, j]
+          // db[oc]   += sum_j gout[oc, j]
+          // gcols[r, j] = sum_oc W[oc, r] * gout[oc, j]
+          std::fill(gcols.begin(), gcols.end(), 0.0f);
+          for (std::size_t oc = 0; oc < out_c_; ++oc) {
+            const float* grow = gout + oc * col_cols;
+            const float* wrow = pw + oc * col_rows;
+            float* gwrow = lgw + oc * col_rows;
+            double bsum = 0.0;
+            for (std::size_t j = 0; j < col_cols; ++j) {
+              bsum += static_cast<double>(grow[j]);
+            }
+            lgb[oc] += static_cast<float>(bsum);
+            for (std::size_t r = 0; r < col_rows; ++r) {
+              const float* crow = cols.data() + r * col_cols;
+              float* gcrow = gcols.data() + r * col_cols;
+              const float wv = wrow[r];
+              double wsum = 0.0;
+              for (std::size_t j = 0; j < col_cols; ++j) {
+                wsum += static_cast<double>(grow[j]) * crow[j];
+                gcrow[j] += wv * grow[j];
+              }
+              gwrow[r] += static_cast<float>(wsum);
+            }
+          }
+          col2im(gcols.data(), h, w, pgx + i * in_c_ * h * w);
+        }
+        std::lock_guard lock(merge_mutex);
+        grad_weight_.add_(local_gw);
+        grad_bias_.add_(local_gb);
+      },
+      /*min_grain=*/1);
+  return grad_x;
+}
+
+}  // namespace fairdms::nn

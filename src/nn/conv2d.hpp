@@ -1,0 +1,42 @@
+// 2-D convolution via im2col + GEMM. Input layout [N, C, H, W].
+#pragma once
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace fairdms::nn {
+
+class Conv2d final : public Layer {
+ public:
+  Conv2d(std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel, util::Rng& rng, std::size_t stride = 1,
+         std::size_t padding = 0);
+
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+  std::vector<Tensor*> params() override { return {&weight_, &bias_}; }
+  std::vector<Tensor*> grads() override { return {&grad_weight_, &grad_bias_}; }
+  [[nodiscard]] std::string name() const override { return "Conv2d"; }
+
+  [[nodiscard]] std::size_t out_size(std::size_t in_size) const {
+    return (in_size + 2 * padding_ - kernel_) / stride_ + 1;
+  }
+
+ private:
+  /// Expands x[n] into a [C*K*K, OH*OW] column matrix.
+  void im2col(const float* img, std::size_t h, std::size_t w,
+              float* cols) const;
+  /// Scatter-adds a column matrix back into an image (transpose of im2col).
+  void col2im(const float* cols, std::size_t h, std::size_t w,
+              float* img) const;
+
+  std::size_t in_c_, out_c_, kernel_, stride_, padding_;
+  Tensor weight_;       // [OC, IC*K*K]
+  Tensor bias_;         // [OC]
+  Tensor grad_weight_;
+  Tensor grad_bias_;
+  Tensor cached_input_;  // [N, C, H, W]
+};
+
+}  // namespace fairdms::nn

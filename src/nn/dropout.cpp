@@ -1,0 +1,31 @@
+#include "nn/dropout.hpp"
+
+#include "util/check.hpp"
+
+namespace fairdms::nn {
+
+Dropout::Dropout(float p, util::Rng& rng) : p_(p), rng_(&rng) {
+  FAIRDMS_CHECK(p >= 0.0f && p < 1.0f, "Dropout p out of range: ", p);
+}
+
+Tensor Dropout::forward(const Tensor& x, Mode mode) {
+  if (mode == Mode::kEval || p_ == 0.0f) return x;
+  const float keep = 1.0f - p_;
+  const float scale = 1.0f / keep;
+  mask_ = Tensor(x.shape());
+  float* pm = mask_.data();
+  for (std::size_t i = 0; i < mask_.numel(); ++i) {
+    pm[i] = rng_->uniform() < static_cast<double>(keep) ? scale : 0.0f;
+  }
+  Tensor y = x;
+  return y.mul_(mask_);
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  if (p_ == 0.0f) return grad_out;
+  FAIRDMS_CHECK(!mask_.empty(), "Dropout::backward before forward");
+  Tensor gx = grad_out;
+  return gx.mul_(mask_);
+}
+
+}  // namespace fairdms::nn

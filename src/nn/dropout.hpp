@@ -1,0 +1,27 @@
+// Inverted dropout. Active in kTrain and kMcSample modes — the latter is what
+// makes MC-dropout uncertainty quantification (paper Fig. 2) possible without
+// touching model weights.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace fairdms::nn {
+
+class Dropout final : public Layer {
+ public:
+  Dropout(float p, util::Rng& rng);
+
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "Dropout"; }
+
+  [[nodiscard]] float probability() const { return p_; }
+
+ private:
+  float p_;
+  util::Rng* rng_;  // non-owning; lifetime managed by the model owner
+  Tensor mask_;
+};
+
+}  // namespace fairdms::nn

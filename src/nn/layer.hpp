@@ -1,0 +1,48 @@
+// Layer abstraction for the fairDMS neural-network stack.
+//
+// The stack is a deliberately small PyTorch analog: layers cache what they
+// need in forward() and return input gradients from backward(). There is no
+// autograd graph; Sequential composes layers in order, which covers every
+// model in the paper (BraggNN, CookieNetAE, autoencoder/BYOL/contrastive
+// embedding networks, TomoNet).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace fairdms::nn {
+
+using tensor::Tensor;
+
+/// Forward-pass mode.
+///  kTrain:    stochastic layers active, caches retained for backward.
+///  kEval:     deterministic inference.
+///  kMcSample: deterministic layers behave as in kEval, but dropout stays
+///             active — one stochastic forward pass for MC-dropout
+///             uncertainty quantification (Gal & Ghahramani).
+enum class Mode { kTrain, kEval, kMcSample };
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual Tensor forward(const Tensor& x, Mode mode) = 0;
+
+  /// Gradient of the loss w.r.t. this layer's input, given the gradient
+  /// w.r.t. its output. Must be called after a kTrain forward pass.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Learnable parameters and their gradient buffers (parallel vectors).
+  virtual std::vector<Tensor*> params() { return {}; }
+  virtual std::vector<Tensor*> grads() { return {}; }
+
+  virtual void zero_grad() {
+    for (Tensor* g : grads()) g->fill_(0.0f);
+  }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace fairdms::nn

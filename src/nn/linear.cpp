@@ -1,0 +1,52 @@
+#include "nn/linear.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fairdms::nn {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features,
+               util::Rng& rng)
+    : in_(in_features),
+      out_(out_features),
+      weight_({out_features, in_features}),
+      bias_({out_features}),
+      grad_weight_({out_features, in_features}),
+      grad_bias_({out_features}) {
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(in_features));  // Kaiming-uniform
+  weight_ = Tensor::rand_uniform({out_, in_}, rng, -bound, bound);
+}
+
+Tensor Linear::forward(const Tensor& x, Mode mode) {
+  FAIRDMS_CHECK(x.rank() == 2 && x.dim(1) == in_, "Linear: expected [N, ",
+                in_, "], got ", x.shape_str());
+  if (mode == Mode::kTrain) cached_input_ = x;
+  Tensor y = tensor::matmul(x, weight_, /*trans_a=*/false, /*trans_b=*/true);
+  const std::size_t n = y.dim(0);
+  float* py = y.data();
+  const float* pb = bias_.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < out_; ++j) py[i * out_ + j] += pb[j];
+  }
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  FAIRDMS_CHECK(!cached_input_.empty(), "Linear::backward before forward");
+  FAIRDMS_CHECK(grad_out.rank() == 2 && grad_out.dim(1) == out_,
+                "Linear: bad grad shape ", grad_out.shape_str());
+  // dW += dY^T X ; db += column-sum(dY) ; dX = dY W
+  grad_weight_.add_(
+      tensor::matmul(grad_out, cached_input_, /*trans_a=*/true));
+  const std::size_t n = grad_out.dim(0);
+  const float* pg = grad_out.data();
+  float* pb = grad_bias_.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < out_; ++j) pb[j] += pg[i * out_ + j];
+  }
+  return tensor::matmul(grad_out, weight_);
+}
+
+}  // namespace fairdms::nn

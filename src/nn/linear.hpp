@@ -1,0 +1,35 @@
+// Fully connected layer: y = x W^T + b, x: [N, in], W: [out, in], b: [out].
+#pragma once
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace fairdms::nn {
+
+class Linear final : public Layer {
+ public:
+  /// Kaiming-uniform initialization scaled for the fan-in.
+  Linear(std::size_t in_features, std::size_t out_features, util::Rng& rng);
+
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+  std::vector<Tensor*> params() override { return {&weight_, &bias_}; }
+  std::vector<Tensor*> grads() override { return {&grad_weight_, &grad_bias_}; }
+  [[nodiscard]] std::string name() const override { return "Linear"; }
+
+  [[nodiscard]] std::size_t in_features() const { return in_; }
+  [[nodiscard]] std::size_t out_features() const { return out_; }
+  [[nodiscard]] const Tensor& weight() const { return weight_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  Tensor weight_;       // [out, in]
+  Tensor bias_;         // [out]
+  Tensor grad_weight_;  // [out, in]
+  Tensor grad_bias_;    // [out]
+  Tensor cached_input_; // [N, in] from last kTrain forward
+};
+
+}  // namespace fairdms::nn

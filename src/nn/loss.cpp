@@ -1,0 +1,167 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace fairdms::nn {
+
+LossResult mse_loss(const Tensor& pred, const Tensor& target) {
+  FAIRDMS_CHECK(pred.numel() == target.numel(), "mse_loss: size mismatch ",
+                pred.shape_str(), " vs ", target.shape_str());
+  LossResult out;
+  out.grad = Tensor(pred.shape());
+  const float* pp = pred.data();
+  const float* pt = target.data();
+  float* pg = out.grad.data();
+  const auto n = static_cast<double>(pred.numel());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < pred.numel(); ++i) {
+    const double d = static_cast<double>(pp[i]) - pt[i];
+    sum += d * d;
+    pg[i] = static_cast<float>(2.0 * d / n);
+  }
+  out.value = sum / n;
+  return out;
+}
+
+LossResult l1_loss(const Tensor& pred, const Tensor& target) {
+  FAIRDMS_CHECK(pred.numel() == target.numel(), "l1_loss: size mismatch");
+  LossResult out;
+  out.grad = Tensor(pred.shape());
+  const float* pp = pred.data();
+  const float* pt = target.data();
+  float* pg = out.grad.data();
+  const auto n = static_cast<double>(pred.numel());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < pred.numel(); ++i) {
+    const double d = static_cast<double>(pp[i]) - pt[i];
+    sum += std::fabs(d);
+    pg[i] = static_cast<float>((d > 0.0 ? 1.0 : (d < 0.0 ? -1.0 : 0.0)) / n);
+  }
+  out.value = sum / n;
+  return out;
+}
+
+LossResult byol_loss(const Tensor& online, const Tensor& target) {
+  FAIRDMS_CHECK(online.rank() == 2 && target.rank() == 2 &&
+                    online.dim(0) == target.dim(0) &&
+                    online.dim(1) == target.dim(1),
+                "byol_loss: shape mismatch ", online.shape_str(), " vs ",
+                target.shape_str());
+  const std::size_t batch = online.dim(0);
+  const std::size_t dim = online.dim(1);
+  LossResult out;
+  out.grad = Tensor(online.shape());
+  const float* po = online.data();
+  const float* pt = target.data();
+  float* pg = out.grad.data();
+  double total = 0.0;
+  constexpr double kEps = 1e-12;
+  for (std::size_t i = 0; i < batch; ++i) {
+    const float* o = po + i * dim;
+    const float* t = pt + i * dim;
+    double no = 0.0, nt = 0.0, ot = 0.0;
+    for (std::size_t j = 0; j < dim; ++j) {
+      no += static_cast<double>(o[j]) * o[j];
+      nt += static_cast<double>(t[j]) * t[j];
+      ot += static_cast<double>(o[j]) * t[j];
+    }
+    no = std::sqrt(no) + kEps;
+    nt = std::sqrt(nt) + kEps;
+    const double cos = ot / (no * nt);
+    total += 2.0 - 2.0 * cos;
+    // d/do_j [ot / (|o||t|)] = t_j/(|o||t|) - cos * o_j/|o|^2
+    const double inv_bn = 1.0 / static_cast<double>(batch);
+    for (std::size_t j = 0; j < dim; ++j) {
+      const double dcos =
+          t[j] / (no * nt) - cos * o[j] / (no * no);
+      pg[i * dim + j] = static_cast<float>(-2.0 * dcos * inv_bn);
+    }
+  }
+  out.value = total / static_cast<double>(batch);
+  return out;
+}
+
+LossResult nt_xent_loss(const Tensor& z, float temperature) {
+  FAIRDMS_CHECK(z.rank() == 2 && z.dim(0) % 2 == 0,
+                "nt_xent_loss: expected [2B, D], got ", z.shape_str());
+  const std::size_t n = z.dim(0);  // 2B rows
+  const std::size_t d = z.dim(1);
+  const std::size_t b = n / 2;
+  const double tau = static_cast<double>(temperature);
+  constexpr double kEps = 1e-12;
+
+  // Row-normalize (cosine similarity space); remember norms for backprop.
+  std::vector<double> norms(n);
+  std::vector<double> zn(n * d);
+  const float* pz = z.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      s += static_cast<double>(pz[i * d + j]) * pz[i * d + j];
+    }
+    norms[i] = std::sqrt(s) + kEps;
+    for (std::size_t j = 0; j < d; ++j) {
+      zn[i * d + j] = pz[i * d + j] / norms[i];
+    }
+  }
+
+  // sim[i][k] = zn_i . zn_k / tau  (diagonal masked out).
+  std::vector<double> sim(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (i == k) continue;
+      double s = 0.0;
+      for (std::size_t j = 0; j < d; ++j) s += zn[i * d + j] * zn[k * d + j];
+      sim[i * n + k] = s / tau;
+    }
+  }
+
+  // Softmax cross-entropy per row with the positive at pair(i).
+  // grad w.r.t. normalized embeddings first, then chain through the
+  // normalization.
+  std::vector<double> gzn(n * d, 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t pos = i < b ? i + b : i - b;
+    double max_logit = -1e300;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (k != i) max_logit = std::max(max_logit, sim[i * n + k]);
+    }
+    double denom = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (k != i) denom += std::exp(sim[i * n + k] - max_logit);
+    }
+    const double log_denom = std::log(denom) + max_logit;
+    total += log_denom - sim[i * n + pos];
+    for (std::size_t k = 0; k < n; ++k) {
+      if (k == i) continue;
+      const double p = std::exp(sim[i * n + k] - log_denom);
+      const double coeff = (p - (k == pos ? 1.0 : 0.0)) / (tau * n);
+      // d sim[i][k] / d zn_i = zn_k  and  / d zn_k = zn_i
+      for (std::size_t j = 0; j < d; ++j) {
+        gzn[i * d + j] += coeff * zn[k * d + j];
+        gzn[k * d + j] += coeff * zn[i * d + j];
+      }
+    }
+  }
+
+  LossResult out;
+  out.value = total / static_cast<double>(n);
+  out.grad = Tensor(z.shape());
+  float* pg = out.grad.data();
+  // d zn / d z: (I - zn zn^T) / |z|
+  for (std::size_t i = 0; i < n; ++i) {
+    double dot_g = 0.0;
+    for (std::size_t j = 0; j < d; ++j) dot_g += gzn[i * d + j] * zn[i * d + j];
+    for (std::size_t j = 0; j < d; ++j) {
+      pg[i * d + j] = static_cast<float>(
+          (gzn[i * d + j] - dot_g * zn[i * d + j]) / norms[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace fairdms::nn

@@ -1,0 +1,30 @@
+// Loss functions. Each returns the scalar loss and writes the gradient
+// w.r.t. the prediction (normalized by batch size) for the backward pass.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace fairdms::nn {
+
+using tensor::Tensor;
+
+struct LossResult {
+  double value = 0.0;
+  Tensor grad;  // dL/dpred, same shape as pred
+};
+
+/// Mean squared error over all elements.
+LossResult mse_loss(const Tensor& pred, const Tensor& target);
+
+/// Mean absolute error (L1) over all elements.
+LossResult l1_loss(const Tensor& pred, const Tensor& target);
+
+/// 2 - 2*cos(a, b) per row, averaged over the batch; gradient w.r.t. `a`
+/// only (b treated as constant — BYOL's stop-gradient on the target branch).
+LossResult byol_loss(const Tensor& online, const Tensor& target);
+
+/// NT-Xent contrastive loss (SimCLR). `z` holds 2B rows: row i and row i+B
+/// are the two augmented views of sample i. Returns loss and dL/dz.
+LossResult nt_xent_loss(const Tensor& z, float temperature = 0.5f);
+
+}  // namespace fairdms::nn

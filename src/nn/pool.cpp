@@ -1,0 +1,128 @@
+#include "nn/pool.hpp"
+
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace fairdms::nn {
+
+namespace {
+std::size_t pooled_size(std::size_t in, std::size_t kernel,
+                        std::size_t stride) {
+  FAIRDMS_CHECK(in >= kernel, "pool kernel larger than input: ", in, " < ",
+                kernel);
+  return (in - kernel) / stride + 1;
+}
+}  // namespace
+
+Tensor MaxPool2d::forward(const Tensor& x, Mode mode) {
+  FAIRDMS_CHECK(x.rank() == 4, "MaxPool2d expects [N,C,H,W], got ",
+                x.shape_str());
+  const std::size_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::size_t oh = pooled_size(h, kernel_, stride_);
+  const std::size_t ow = pooled_size(w, kernel_, stride_);
+  Tensor y({n, c, oh, ow});
+  const bool keep = mode == Mode::kTrain;
+  if (keep) {
+    input_shape_ = x.shape();
+    argmax_.assign(y.numel(), 0);
+  }
+  const float* px = x.data();
+  float* py = y.data();
+  std::size_t out_idx = 0;
+  for (std::size_t i = 0; i < n * c; ++i) {
+    const float* plane = px + i * h * w;
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox, ++out_idx) {
+        float best = -std::numeric_limits<float>::infinity();
+        std::size_t best_idx = 0;
+        for (std::size_t ky = 0; ky < kernel_; ++ky) {
+          for (std::size_t kx = 0; kx < kernel_; ++kx) {
+            const std::size_t idx =
+                (oy * stride_ + ky) * w + (ox * stride_ + kx);
+            if (plane[idx] > best) {
+              best = plane[idx];
+              best_idx = i * h * w + idx;
+            }
+          }
+        }
+        py[out_idx] = best;
+        if (keep) argmax_[out_idx] = static_cast<std::uint32_t>(best_idx);
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  FAIRDMS_CHECK(!argmax_.empty(), "MaxPool2d::backward before forward");
+  FAIRDMS_CHECK(grad_out.numel() == argmax_.size(),
+                "MaxPool2d: grad size mismatch");
+  Tensor gx(input_shape_);
+  float* pgx = gx.data();
+  const float* pg = grad_out.data();
+  for (std::size_t i = 0; i < argmax_.size(); ++i) {
+    pgx[argmax_[i]] += pg[i];
+  }
+  return gx;
+}
+
+Tensor AvgPool2d::forward(const Tensor& x, Mode mode) {
+  FAIRDMS_CHECK(x.rank() == 4, "AvgPool2d expects [N,C,H,W], got ",
+                x.shape_str());
+  const std::size_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::size_t oh = pooled_size(h, kernel_, stride_);
+  const std::size_t ow = pooled_size(w, kernel_, stride_);
+  if (mode == Mode::kTrain) input_shape_ = x.shape();
+  Tensor y({n, c, oh, ow});
+  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+  const float* px = x.data();
+  float* py = y.data();
+  std::size_t out_idx = 0;
+  for (std::size_t i = 0; i < n * c; ++i) {
+    const float* plane = px + i * h * w;
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox, ++out_idx) {
+        float sum = 0.0f;
+        for (std::size_t ky = 0; ky < kernel_; ++ky) {
+          for (std::size_t kx = 0; kx < kernel_; ++kx) {
+            sum += plane[(oy * stride_ + ky) * w + (ox * stride_ + kx)];
+          }
+        }
+        py[out_idx] = sum * inv;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor AvgPool2d::backward(const Tensor& grad_out) {
+  FAIRDMS_CHECK(!input_shape_.empty(), "AvgPool2d::backward before forward");
+  const std::size_t n = input_shape_[0], c = input_shape_[1],
+                    h = input_shape_[2], w = input_shape_[3];
+  const std::size_t oh = pooled_size(h, kernel_, stride_);
+  const std::size_t ow = pooled_size(w, kernel_, stride_);
+  FAIRDMS_CHECK(grad_out.numel() == n * c * oh * ow,
+                "AvgPool2d: grad size mismatch");
+  Tensor gx(input_shape_);
+  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+  float* pgx = gx.data();
+  const float* pg = grad_out.data();
+  std::size_t out_idx = 0;
+  for (std::size_t i = 0; i < n * c; ++i) {
+    float* plane = pgx + i * h * w;
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox, ++out_idx) {
+        const float g = pg[out_idx] * inv;
+        for (std::size_t ky = 0; ky < kernel_; ++ky) {
+          for (std::size_t kx = 0; kx < kernel_; ++kx) {
+            plane[(oy * stride_ + ky) * w + (ox * stride_ + kx)] += g;
+          }
+        }
+      }
+    }
+  }
+  return gx;
+}
+
+}  // namespace fairdms::nn

@@ -1,0 +1,41 @@
+// Max and average pooling over [N, C, H, W] inputs.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/layer.hpp"
+
+namespace fairdms::nn {
+
+class MaxPool2d final : public Layer {
+ public:
+  explicit MaxPool2d(std::size_t kernel, std::size_t stride = 0)
+      : kernel_(kernel), stride_(stride == 0 ? kernel : stride) {}
+
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "MaxPool2d"; }
+
+ private:
+  std::size_t kernel_;
+  std::size_t stride_;
+  std::vector<std::size_t> input_shape_;
+  std::vector<std::uint32_t> argmax_;  // flat input index per output element
+};
+
+class AvgPool2d final : public Layer {
+ public:
+  explicit AvgPool2d(std::size_t kernel, std::size_t stride = 0)
+      : kernel_(kernel), stride_(stride == 0 ? kernel : stride) {}
+
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "AvgPool2d"; }
+
+ private:
+  std::size_t kernel_;
+  std::size_t stride_;
+  std::vector<std::size_t> input_shape_;
+};
+
+}  // namespace fairdms::nn

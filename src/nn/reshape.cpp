@@ -1,0 +1,32 @@
+#include "nn/reshape.hpp"
+
+#include "util/check.hpp"
+
+namespace fairdms::nn {
+
+Tensor Flatten::forward(const Tensor& x, Mode mode) {
+  FAIRDMS_CHECK(x.rank() >= 2, "Flatten expects rank >= 2, got ",
+                x.shape_str());
+  if (mode == Mode::kTrain) input_shape_ = x.shape();
+  std::size_t features = 1;
+  for (std::size_t a = 1; a < x.rank(); ++a) features *= x.dim(a);
+  return x.reshaped({x.dim(0), features});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  FAIRDMS_CHECK(!input_shape_.empty(), "Flatten::backward before forward");
+  return grad_out.reshaped(input_shape_);
+}
+
+Tensor Unflatten::forward(const Tensor& x, Mode /*mode*/) {
+  FAIRDMS_CHECK(x.rank() == 2 && x.dim(1) == c_ * h_ * w_,
+                "Unflatten: expected [N, ", c_ * h_ * w_, "], got ",
+                x.shape_str());
+  return x.reshaped({x.dim(0), c_, h_, w_});
+}
+
+Tensor Unflatten::backward(const Tensor& grad_out) {
+  return grad_out.reshaped({grad_out.dim(0), c_ * h_ * w_});
+}
+
+}  // namespace fairdms::nn

@@ -1,0 +1,31 @@
+// Shape-adapters: Flatten ([N,C,H,W] -> [N, C*H*W]) and Unflatten (inverse).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace fairdms::nn {
+
+class Flatten final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "Flatten"; }
+
+ private:
+  std::vector<std::size_t> input_shape_;
+};
+
+/// Reshapes [N, C*H*W] back to [N, C, H, W] (decoder-side of autoencoders).
+class Unflatten final : public Layer {
+ public:
+  Unflatten(std::size_t channels, std::size_t height, std::size_t width)
+      : c_(channels), h_(height), w_(width) {}
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "Unflatten"; }
+
+ private:
+  std::size_t c_, h_, w_;
+};
+
+}  // namespace fairdms::nn

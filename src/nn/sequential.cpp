@@ -1,0 +1,79 @@
+#include "nn/sequential.hpp"
+
+#include "util/check.hpp"
+
+namespace fairdms::nn {
+
+Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
+  FAIRDMS_CHECK(layer != nullptr, "Sequential::add(nullptr)");
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& x, Mode mode) {
+  Tensor out = x;
+  for (auto& layer : layers_) out = layer->forward(out, mode);
+  return out;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor grad = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    grad = (*it)->backward(grad);
+  }
+  return grad;
+}
+
+std::vector<Tensor*> Sequential::params() {
+  std::vector<Tensor*> out;
+  for (auto& layer : layers_) {
+    for (Tensor* p : layer->params()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Tensor*> Sequential::grads() {
+  std::vector<Tensor*> out;
+  for (auto& layer : layers_) {
+    for (Tensor* g : layer->grads()) out.push_back(g);
+  }
+  return out;
+}
+
+std::size_t Sequential::parameter_count() {
+  std::size_t n = 0;
+  for (Tensor* p : params()) n += p->numel();
+  return n;
+}
+
+void Sequential::copy_parameters_from(Sequential& other) {
+  auto dst = params();
+  auto src = other.params();
+  FAIRDMS_CHECK(dst.size() == src.size(),
+                "copy_parameters_from: architecture mismatch (",
+                dst.size(), " vs ", src.size(), " tensors)");
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    FAIRDMS_CHECK(dst[i]->numel() == src[i]->numel(),
+                  "copy_parameters_from: tensor ", i, " size mismatch");
+    *dst[i] = *src[i];
+  }
+}
+
+void Sequential::ema_update_from(Sequential& other, float tau) {
+  auto dst = params();
+  auto src = other.params();
+  FAIRDMS_CHECK(dst.size() == src.size(),
+                "ema_update_from: architecture mismatch");
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    Tensor& d = *dst[i];
+    const Tensor& s = *src[i];
+    FAIRDMS_CHECK(d.numel() == s.numel(), "ema tensor size mismatch");
+    float* pd = d.data();
+    const float* ps = s.data();
+    for (std::size_t j = 0; j < d.numel(); ++j) {
+      pd[j] = (1.0f - tau) * pd[j] + tau * ps[j];
+    }
+  }
+}
+
+}  // namespace fairdms::nn

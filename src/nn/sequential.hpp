@@ -1,0 +1,46 @@
+// Ordered container of layers; the model type used throughout fairDMS.
+#pragma once
+
+#include <memory>
+
+#include "nn/layer.hpp"
+
+namespace fairdms::nn {
+
+class Sequential final : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Append a layer; returns a reference for chained construction.
+  Sequential& add(std::unique_ptr<Layer> layer);
+
+  /// Emplace-construct a layer of type L.
+  template <typename L, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    return add(std::make_unique<L>(std::forward<Args>(args)...));
+  }
+
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+  std::vector<Tensor*> params() override;
+  std::vector<Tensor*> grads() override;
+  [[nodiscard]] std::string name() const override { return "Sequential"; }
+
+  [[nodiscard]] std::size_t layer_count() const { return layers_.size(); }
+  [[nodiscard]] Layer& layer(std::size_t i) { return *layers_.at(i); }
+
+  /// Total number of learnable scalars.
+  [[nodiscard]] std::size_t parameter_count();
+
+  /// Copies parameter values from another model with identical architecture.
+  void copy_parameters_from(Sequential& other);
+
+  /// out = tau * other + (1 - tau) * out  (EMA update, used by BYOL target).
+  void ema_update_from(Sequential& other, float tau);
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace fairdms::nn

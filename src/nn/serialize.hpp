@@ -1,0 +1,28 @@
+// Model parameter (de)serialization.
+//
+// The fairMS model Zoo stores models as opaque byte blobs inside the document
+// store; this is the blob format. It captures parameter values only — the
+// architecture is reconstructed by the model factory and must match.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/sequential.hpp"
+
+namespace fairdms::nn {
+
+/// Serializes every parameter tensor (in model order) into a versioned,
+/// checksummed byte blob.
+std::vector<std::uint8_t> save_parameters(Sequential& model);
+
+/// Restores parameters from `blob` into `model`. Aborts on format, shape, or
+/// checksum mismatch.
+void load_parameters(Sequential& model, const std::vector<std::uint8_t>& blob);
+
+/// File convenience wrappers.
+void save_parameters_file(Sequential& model, const std::string& path);
+void load_parameters_file(Sequential& model, const std::string& path);
+
+}  // namespace fairdms::nn

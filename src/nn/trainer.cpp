@@ -1,0 +1,109 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace fairdms::nn {
+
+Tensor gather_rows(const Tensor& t, std::span<const std::size_t> indices) {
+  FAIRDMS_CHECK(t.rank() >= 1, "gather_rows on scalar tensor");
+  std::size_t row_elems = 1;
+  for (std::size_t a = 1; a < t.rank(); ++a) row_elems *= t.dim(a);
+  std::vector<std::size_t> shape = t.shape();
+  shape[0] = indices.size();
+  Tensor out(shape);
+  const float* src = t.data();
+  float* dst = out.data();
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    FAIRDMS_CHECK(indices[i] < t.dim(0), "gather_rows index out of range");
+    std::copy_n(src + indices[i] * row_elems, row_elems, dst + i * row_elems);
+  }
+  return out;
+}
+
+double evaluate(Sequential& model, const Batchset& data,
+                std::size_t batch_size) {
+  const std::size_t n = data.size();
+  if (n == 0) return 0.0;
+  double total = 0.0;
+  std::vector<std::size_t> idx(batch_size);
+  for (std::size_t begin = 0; begin < n; begin += batch_size) {
+    const std::size_t end = std::min(n, begin + batch_size);
+    idx.resize(end - begin);
+    std::iota(idx.begin(), idx.end(), begin);
+    const Tensor xb = gather_rows(data.xs, idx);
+    const Tensor yb = gather_rows(data.ys, idx);
+    const Tensor pred = model.forward(xb, Mode::kEval);
+    total += mse_loss(pred, yb).value * static_cast<double>(end - begin);
+  }
+  return total / static_cast<double>(n);
+}
+
+TrainResult fit(Sequential& model, Optimizer& optimizer, const Batchset& train,
+                const Batchset& val, const TrainConfig& config,
+                util::Rng& rng) {
+  FAIRDMS_CHECK(train.size() > 0, "fit: empty training set");
+  FAIRDMS_CHECK(config.batch_size > 0, "fit: batch_size must be positive");
+
+  TrainResult result;
+  result.best_val_error = std::numeric_limits<double>::infinity();
+  util::WallTimer timer;
+
+  std::vector<std::size_t> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::size_t epochs_since_best = 0;
+
+  for (std::size_t epoch = 1; epoch <= config.max_epochs; ++epoch) {
+    rng.shuffle(order);
+    double train_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t begin = 0; begin < order.size();
+         begin += config.batch_size) {
+      const std::size_t end =
+          std::min(order.size(), begin + config.batch_size);
+      const std::span<const std::size_t> batch_idx(order.data() + begin,
+                                                   end - begin);
+      const Tensor xb = gather_rows(train.xs, batch_idx);
+      const Tensor yb = gather_rows(train.ys, batch_idx);
+
+      optimizer.zero_grad();
+      const Tensor pred = model.forward(xb, Mode::kTrain);
+      const LossResult loss = mse_loss(pred, yb);
+      model.backward(loss.grad);
+      optimizer.step();
+      train_loss += loss.value;
+      ++batches;
+    }
+    train_loss /= static_cast<double>(std::max<std::size_t>(1, batches));
+
+    const double val_error =
+        val.size() > 0 ? evaluate(model, val) : train_loss;
+    result.curve.push_back(val_error);
+    result.epochs_run = epoch;
+    result.final_val_error = val_error;
+    if (config.on_epoch) config.on_epoch(epoch, train_loss, val_error);
+
+    if (val_error < result.best_val_error) {
+      result.best_val_error = val_error;
+      epochs_since_best = 0;
+    } else {
+      ++epochs_since_best;
+    }
+
+    if (config.target_val_error > 0.0 &&
+        val_error <= config.target_val_error) {
+      result.reached_target = true;
+      if (result.convergence_epoch == 0) result.convergence_epoch = epoch;
+      break;
+    }
+    if (config.patience > 0 && epochs_since_best >= config.patience) break;
+  }
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace fairdms::nn

@@ -1,0 +1,64 @@
+// Generic supervised training loop with convergence-based early stopping.
+//
+// Used by every experiment that compares "fine-tune from a recommended
+// foundation model" against "retrain from scratch" (paper Figs. 13–15): the
+// figure of merit is how many epochs / seconds until validation error reaches
+// a target, so the trainer records the full learning curve.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "nn/loss.hpp"
+#include "nn/optim.hpp"
+#include "nn/sequential.hpp"
+#include "util/rng.hpp"
+
+namespace fairdms::nn {
+
+struct TrainConfig {
+  std::size_t max_epochs = 100;
+  std::size_t batch_size = 32;
+  /// Stop as soon as validation error <= target (0 disables).
+  double target_val_error = 0.0;
+  /// Stop when validation error has not improved for this many epochs
+  /// (0 disables patience-based stopping).
+  std::size_t patience = 0;
+  /// Per-epoch callback (epoch, train_loss, val_error); optional.
+  std::function<void(std::size_t, double, double)> on_epoch;
+};
+
+struct TrainResult {
+  std::vector<double> curve;   ///< validation error after each epoch
+  std::size_t epochs_run = 0;
+  double final_val_error = 0.0;
+  double best_val_error = 0.0;
+  double seconds = 0.0;        ///< wall time spent in the loop
+  bool reached_target = false;
+  /// First epoch (1-based) at which val error <= target; 0 if never.
+  std::size_t convergence_epoch = 0;
+};
+
+/// Supervised dataset view: xs[i] pairs with ys[i] along dim 0.
+struct Batchset {
+  Tensor xs;  ///< [N, ...]
+  Tensor ys;  ///< [N, ...]
+  [[nodiscard]] std::size_t size() const {
+    return xs.empty() ? 0 : xs.dim(0);
+  }
+};
+
+/// Extracts rows `indices` of a [N, ...] tensor into a new [B, ...] tensor.
+Tensor gather_rows(const Tensor& t, std::span<const std::size_t> indices);
+
+/// Mean loss of `model` on a dataset, evaluated in kEval mode batch-wise.
+double evaluate(Sequential& model, const Batchset& data,
+                std::size_t batch_size = 256);
+
+/// Runs mini-batch gradient descent with shuffling. The loss is MSE (the
+/// regression objective used by BraggNN / CookieNetAE / TomoNet).
+TrainResult fit(Sequential& model, Optimizer& optimizer,
+                const Batchset& train, const Batchset& val,
+                const TrainConfig& config, util::Rng& rng);
+
+}  // namespace fairdms::nn

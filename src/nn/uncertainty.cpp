@@ -1,0 +1,51 @@
+#include "nn/uncertainty.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fairdms::nn {
+
+McDropoutResult mc_dropout_predict(Sequential& model, const Tensor& x,
+                                   std::size_t samples) {
+  FAIRDMS_CHECK(samples >= 2, "mc_dropout_predict needs >= 2 samples");
+  std::vector<double> sum;
+  std::vector<double> sum_sq;
+  std::vector<std::size_t> shape;
+  for (std::size_t s = 0; s < samples; ++s) {
+    Tensor y = model.forward(x, Mode::kMcSample);
+    if (s == 0) {
+      shape = y.shape();
+      sum.assign(y.numel(), 0.0);
+      sum_sq.assign(y.numel(), 0.0);
+    }
+    const float* py = y.data();
+    for (std::size_t i = 0; i < y.numel(); ++i) {
+      sum[i] += static_cast<double>(py[i]);
+      sum_sq[i] += static_cast<double>(py[i]) * py[i];
+    }
+  }
+  const auto n = static_cast<double>(samples);
+  McDropoutResult out;
+  out.mean = Tensor(shape);
+  out.std = Tensor(shape);
+  float* pm = out.mean.data();
+  float* pd = out.std.data();
+  for (std::size_t i = 0; i < sum.size(); ++i) {
+    const double mean = sum[i] / n;
+    double var = sum_sq[i] / n - mean * mean;
+    // Clamp cancellation residue: identical samples must report zero spread.
+    if (var <= 1e-10 * std::max(1.0, mean * mean)) var = 0.0;
+    pm[i] = static_cast<float>(mean);
+    pd[i] = static_cast<float>(std::sqrt(var));
+  }
+  return out;
+}
+
+double mc_dropout_uncertainty(Sequential& model, const Tensor& x,
+                              std::size_t samples) {
+  const McDropoutResult r = mc_dropout_predict(model, x, samples);
+  return r.std.mean();
+}
+
+}  // namespace fairdms::nn

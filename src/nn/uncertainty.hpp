@@ -1,0 +1,25 @@
+// MC-dropout uncertainty quantification (Gal & Ghahramani 2016), as the paper
+// uses in Fig. 2 to detect model degradation: run N stochastic forward passes
+// with dropout active and read the predictive spread.
+#pragma once
+
+#include "nn/sequential.hpp"
+
+namespace fairdms::nn {
+
+struct McDropoutResult {
+  Tensor mean;  ///< predictive mean, same shape as a single forward output
+  Tensor std;   ///< per-element predictive standard deviation
+};
+
+/// Runs `samples` forward passes in kMcSample mode (dropout active,
+/// everything else deterministic) and aggregates mean and std.
+McDropoutResult mc_dropout_predict(Sequential& model, const Tensor& x,
+                                   std::size_t samples);
+
+/// Scalar uncertainty summary: mean per-element std across the batch —
+/// a single number comparable across datasets (Fig. 2's right axis).
+double mc_dropout_uncertainty(Sequential& model, const Tensor& x,
+                              std::size_t samples);
+
+}  // namespace fairdms::nn

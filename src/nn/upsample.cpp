@@ -1,0 +1,52 @@
+#include "nn/upsample.hpp"
+
+#include "util/check.hpp"
+
+namespace fairdms::nn {
+
+Tensor Upsample2d::forward(const Tensor& x, Mode mode) {
+  FAIRDMS_CHECK(x.rank() == 4, "Upsample2d expects [N,C,H,W], got ",
+                x.shape_str());
+  if (mode == Mode::kTrain) input_shape_ = x.shape();
+  const std::size_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::size_t oh = h * factor_, ow = w * factor_;
+  Tensor y({n, c, oh, ow});
+  const float* px = x.data();
+  float* py = y.data();
+  for (std::size_t i = 0; i < n * c; ++i) {
+    const float* in_plane = px + i * h * w;
+    float* out_plane = py + i * oh * ow;
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      const float* in_row = in_plane + (oy / factor_) * w;
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        out_plane[oy * ow + ox] = in_row[ox / factor_];
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Upsample2d::backward(const Tensor& grad_out) {
+  FAIRDMS_CHECK(!input_shape_.empty(), "Upsample2d::backward before forward");
+  const std::size_t n = input_shape_[0], c = input_shape_[1],
+                    h = input_shape_[2], w = input_shape_[3];
+  const std::size_t oh = h * factor_, ow = w * factor_;
+  FAIRDMS_CHECK(grad_out.numel() == n * c * oh * ow,
+                "Upsample2d: grad size mismatch");
+  Tensor gx(input_shape_);
+  const float* pg = grad_out.data();
+  float* pgx = gx.data();
+  for (std::size_t i = 0; i < n * c; ++i) {
+    const float* g_plane = pg + i * oh * ow;
+    float* gx_plane = pgx + i * h * w;
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      float* gx_row = gx_plane + (oy / factor_) * w;
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        gx_row[ox / factor_] += g_plane[oy * ow + ox];
+      }
+    }
+  }
+  return gx;
+}
+
+}  // namespace fairdms::nn

@@ -1,0 +1,21 @@
+// Nearest-neighbour 2x upsampling; decoder-side counterpart to pooling.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace fairdms::nn {
+
+class Upsample2d final : public Layer {
+ public:
+  explicit Upsample2d(std::size_t factor = 2) : factor_(factor) {}
+
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "Upsample2d"; }
+
+ private:
+  std::size_t factor_;
+  std::vector<std::size_t> input_shape_;
+};
+
+}  // namespace fairdms::nn

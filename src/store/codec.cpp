@@ -1,0 +1,240 @@
+#include "store/codec.hpp"
+
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace fairdms::store {
+
+namespace {
+
+constexpr std::uint32_t kRawMagic = 0x52415746;     // "RAWF"
+constexpr std::uint32_t kPickleMagic = 0x504B4C46;  // "PKLF"
+constexpr std::uint32_t kBloscMagic = 0x424C5346;   // "BLSF"
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t& pos) {
+  FAIRDMS_CHECK(pos + 4 <= in.size(), "codec: truncated u32");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{in[pos++]} << (8 * i);
+  return v;
+}
+
+// Pickle-style opcodes. The decoder is a small interpreter: every element
+// costs a tag dispatch plus value reconstruction, the property that makes
+// real pickle decode CPU-bound.
+enum PickleOp : std::uint8_t {
+  kOpZero = 0x30,    // a 0.0f element
+  kOpFloat = 0x46,   // 4-byte float follows
+  kOpRepeat = 0x52,  // repeat previous element (u8 count follows)
+  kOpStop = 0x2E,
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> RawCodec::encode(
+    std::span<const float> values) const {
+  std::vector<std::uint8_t> out;
+  out.reserve(8 + values.size() * 4);
+  put_u32(out, kRawMagic);
+  put_u32(out, static_cast<std::uint32_t>(values.size()));
+  const std::size_t offset = out.size();
+  out.resize(offset + values.size() * 4);
+  std::memcpy(out.data() + offset, values.data(), values.size() * 4);
+  return out;
+}
+
+void RawCodec::decode(std::span<const std::uint8_t> bytes,
+                      std::vector<float>& out) const {
+  std::size_t pos = 0;
+  FAIRDMS_CHECK(get_u32(bytes, pos) == kRawMagic, "raw codec: bad magic");
+  const std::uint32_t n = get_u32(bytes, pos);
+  FAIRDMS_CHECK(pos + std::size_t{n} * 4 == bytes.size(),
+                "raw codec: length mismatch");
+  out.resize(n);
+  std::memcpy(out.data(), bytes.data() + pos, std::size_t{n} * 4);
+}
+
+std::vector<std::uint8_t> PickleCodec::encode(
+    std::span<const float> values) const {
+  std::vector<std::uint8_t> out;
+  out.reserve(8 + values.size() * 5);
+  put_u32(out, kPickleMagic);
+  put_u32(out, static_cast<std::uint32_t>(values.size()));
+  std::size_t i = 0;
+  while (i < values.size()) {
+    const float v = values[i];
+    // Count immediate repeats of the same bit pattern (pickle memoization
+    // analog); keeps encoded size reasonable on sparse data.
+    std::size_t run = 1;
+    std::uint32_t bits_v;
+    std::memcpy(&bits_v, &v, 4);
+    while (i + run < values.size() && run < 255) {
+      std::uint32_t bits_n;
+      std::memcpy(&bits_n, &values[i + run], 4);
+      if (bits_n != bits_v) break;
+      ++run;
+    }
+    if (bits_v == 0) {  // +0.0f only; -0.0f keeps its bit pattern via kOpFloat
+      out.push_back(kOpZero);
+    } else {
+      out.push_back(kOpFloat);
+      const std::size_t offset = out.size();
+      out.resize(offset + 4);
+      std::memcpy(out.data() + offset, &v, 4);
+    }
+    if (run > 1) {
+      out.push_back(kOpRepeat);
+      out.push_back(static_cast<std::uint8_t>(run - 1));
+    }
+    i += run;
+  }
+  out.push_back(kOpStop);
+  return out;
+}
+
+void PickleCodec::decode(std::span<const std::uint8_t> bytes,
+                         std::vector<float>& out) const {
+  std::size_t pos = 0;
+  FAIRDMS_CHECK(get_u32(bytes, pos) == kPickleMagic,
+                "pickle codec: bad magic");
+  const std::uint32_t n = get_u32(bytes, pos);
+  out.clear();
+  out.reserve(n);
+  float prev = 0.0f;
+  // Interpreted opcode loop — intentionally per-element, like pickle.
+  for (;;) {
+    FAIRDMS_CHECK(pos < bytes.size(), "pickle codec: truncated stream");
+    const std::uint8_t op = bytes[pos++];
+    if (op == kOpStop) break;
+    switch (op) {
+      case kOpZero:
+        prev = 0.0f;
+        out.push_back(prev);
+        break;
+      case kOpFloat: {
+        FAIRDMS_CHECK(pos + 4 <= bytes.size(), "pickle codec: truncated float");
+        std::memcpy(&prev, bytes.data() + pos, 4);
+        pos += 4;
+        out.push_back(prev);
+        break;
+      }
+      case kOpRepeat: {
+        FAIRDMS_CHECK(pos < bytes.size(), "pickle codec: truncated repeat");
+        const std::uint8_t count = bytes[pos++];
+        for (std::uint8_t r = 0; r < count; ++r) out.push_back(prev);
+        break;
+      }
+      default:
+        FAIRDMS_CHECK(false, "pickle codec: unknown opcode ", int{op});
+    }
+  }
+  FAIRDMS_CHECK(out.size() == n, "pickle codec: element count mismatch (",
+                out.size(), " vs ", n, ")");
+}
+
+std::vector<std::uint8_t> BloscCodec::encode(
+    std::span<const float> values) const {
+  const std::size_t n = values.size();
+  // Byte shuffle: plane b holds byte b of every element. High-order exponent
+  // bytes of smooth scientific data are nearly constant -> long RLE runs.
+  std::vector<std::uint8_t> shuffled(n * 4);
+  const auto* src = reinterpret_cast<const std::uint8_t*>(values.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t b = 0; b < 4; ++b) {
+      shuffled[b * n + i] = src[i * 4 + b];
+    }
+  }
+
+  std::vector<std::uint8_t> out;
+  out.reserve(16 + n);
+  put_u32(out, kBloscMagic);
+  put_u32(out, static_cast<std::uint32_t>(n));
+  // RLE over the shuffled stream: (count u8, byte) pairs for runs >= 4,
+  // literal blocks otherwise.
+  std::size_t i = 0;
+  while (i < shuffled.size()) {
+    std::size_t run = 1;
+    while (i + run < shuffled.size() && run < 255 &&
+           shuffled[i + run] == shuffled[i]) {
+      ++run;
+    }
+    if (run >= 4) {
+      out.push_back(0x00);  // run marker
+      out.push_back(static_cast<std::uint8_t>(run));
+      out.push_back(shuffled[i]);
+      i += run;
+    } else {
+      // Literal block: gather until the next run of >= 4 or 255 bytes.
+      std::size_t lit_end = i;
+      std::size_t scan = i;
+      while (scan < shuffled.size() && scan - i < 255) {
+        std::size_t r = 1;
+        while (scan + r < shuffled.size() && r < 4 &&
+               shuffled[scan + r] == shuffled[scan]) {
+          ++r;
+        }
+        if (r >= 4) break;
+        scan += 1;
+        lit_end = scan;
+      }
+      if (lit_end == i) lit_end = i + 1;
+      out.push_back(0x01);  // literal marker
+      out.push_back(static_cast<std::uint8_t>(lit_end - i));
+      out.insert(out.end(),
+                 shuffled.begin() + static_cast<std::ptrdiff_t>(i),
+                 shuffled.begin() + static_cast<std::ptrdiff_t>(lit_end));
+      i = lit_end;
+    }
+  }
+  return out;
+}
+
+void BloscCodec::decode(std::span<const std::uint8_t> bytes,
+                        std::vector<float>& out) const {
+  std::size_t pos = 0;
+  FAIRDMS_CHECK(get_u32(bytes, pos) == kBloscMagic, "blosc codec: bad magic");
+  const std::uint32_t n = get_u32(bytes, pos);
+  std::vector<std::uint8_t> shuffled;
+  shuffled.reserve(std::size_t{n} * 4);
+  while (pos < bytes.size()) {
+    const std::uint8_t marker = bytes[pos++];
+    FAIRDMS_CHECK(pos < bytes.size(), "blosc codec: truncated block header");
+    const std::uint8_t len = bytes[pos++];
+    if (marker == 0x00) {
+      FAIRDMS_CHECK(pos < bytes.size(), "blosc codec: truncated run");
+      shuffled.insert(shuffled.end(), len, bytes[pos++]);
+    } else {
+      FAIRDMS_CHECK(marker == 0x01, "blosc codec: bad marker");
+      FAIRDMS_CHECK(pos + len <= bytes.size(),
+                    "blosc codec: truncated literal");
+      shuffled.insert(shuffled.end(), bytes.begin() + static_cast<std::ptrdiff_t>(pos),
+                      bytes.begin() + static_cast<std::ptrdiff_t>(pos + len));
+      pos += len;
+    }
+  }
+  FAIRDMS_CHECK(shuffled.size() == std::size_t{n} * 4,
+                "blosc codec: shuffled size mismatch");
+  out.resize(n);
+  auto* dst = reinterpret_cast<std::uint8_t*>(out.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t b = 0; b < 4; ++b) {
+      dst[i * 4 + b] = shuffled[b * n + i];
+    }
+  }
+}
+
+std::unique_ptr<Codec> make_codec(const std::string& name) {
+  if (name == "raw") return std::make_unique<RawCodec>();
+  if (name == "pickle") return std::make_unique<PickleCodec>();
+  if (name == "blosc") return std::make_unique<BloscCodec>();
+  FAIRDMS_CHECK(false, "unknown codec: ", name);
+  return nullptr;
+}
+
+}  // namespace fairdms::store

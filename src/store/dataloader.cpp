@@ -1,0 +1,149 @@
+#include "store/dataloader.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace fairdms::store {
+
+namespace {
+std::size_t shape_elems(const std::vector<std::size_t>& shape) {
+  std::size_t n = 1;
+  for (std::size_t d : shape) n *= d;
+  return shape.empty() ? 0 : n;
+}
+}  // namespace
+
+DataLoader::DataLoader(const Dataset& dataset, LoaderConfig config)
+    : dataset_(&dataset), config_(config) {
+  FAIRDMS_CHECK(config_.batch_size > 0, "DataLoader: batch_size must be > 0");
+  FAIRDMS_CHECK(config_.workers > 0, "DataLoader: workers must be > 0");
+  FAIRDMS_CHECK(config_.prefetch_batches > 0,
+                "DataLoader: prefetch_batches must be > 0");
+  order_.resize(dataset_->size());
+  std::iota(order_.begin(), order_.end(), 0);
+}
+
+DataLoader::~DataLoader() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_space_.notify_all();
+  cv_data_.notify_all();
+  join_workers();
+}
+
+std::size_t DataLoader::batches_per_epoch() const {
+  const std::size_t n = order_.size();
+  if (config_.drop_last) return n / config_.batch_size;
+  return (n + config_.batch_size - 1) / config_.batch_size;
+}
+
+void DataLoader::start_epoch(std::size_t epoch) {
+  join_workers();
+  FAIRDMS_CHECK(queue_.empty() || batches_taken_ == total_batches_,
+                "start_epoch while previous epoch still in flight");
+  if (config_.shuffle) {
+    util::Rng rng(config_.seed ^ (epoch * 0x9E3779B97F4A7C15ull));
+    rng.shuffle(order_);
+  }
+  {
+    std::lock_guard lock(mutex_);
+    queue_.clear();
+    next_claim_ = 0;
+    produced_ = 0;
+    batches_taken_ = 0;
+    total_batches_ = batches_per_epoch();
+    stopping_ = false;
+    stall_seconds_ = 0.0;
+  }
+  worker_fetch_seconds_.assign(config_.workers, 0.0);
+  workers_.clear();
+  workers_.reserve(config_.workers);
+  for (std::size_t w = 0; w < config_.workers; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+void DataLoader::worker_loop(std::size_t worker_id) {
+  const std::vector<std::size_t> xs = dataset_->x_shape();
+  const std::vector<std::size_t> ys = dataset_->y_shape();
+  const std::size_t xe = shape_elems(xs);
+  const std::size_t ye = shape_elems(ys);
+  Sample sample;
+
+  for (;;) {
+    std::size_t batch_index;
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_ || next_claim_ >= total_batches_) return;
+      batch_index = next_claim_++;
+    }
+    const std::size_t begin = batch_index * config_.batch_size;
+    const std::size_t end =
+        std::min(order_.size(), begin + config_.batch_size);
+    const std::size_t count = end - begin;
+
+    util::WallTimer fetch_timer;
+    std::vector<std::size_t> bx(xs);
+    bx.insert(bx.begin(), count);
+    std::vector<std::size_t> by(ys);
+    by.insert(by.begin(), count);
+    Batch batch{nn::Tensor(bx), nn::Tensor(by)};
+    for (std::size_t i = 0; i < count; ++i) {
+      dataset_->get(order_[begin + i], sample);
+      FAIRDMS_CHECK(sample.x.size() == xe && sample.y.size() == ye,
+                    "DataLoader: sample shape mismatch at index ",
+                    order_[begin + i]);
+      std::copy(sample.x.begin(), sample.x.end(),
+                batch.xs.data() + i * xe);
+      std::copy(sample.y.begin(), sample.y.end(),
+                batch.ys.data() + i * ye);
+    }
+    worker_fetch_seconds_[worker_id] += fetch_timer.seconds();
+
+    std::unique_lock lock(mutex_);
+    cv_space_.wait(lock, [this] {
+      return stopping_ || queue_.size() < config_.prefetch_batches;
+    });
+    if (stopping_) return;
+    queue_.push_back(std::move(batch));
+    ++produced_;
+    cv_data_.notify_one();
+  }
+}
+
+std::optional<Batch> DataLoader::next() {
+  std::unique_lock lock(mutex_);
+  if (batches_taken_ >= total_batches_) return std::nullopt;
+  util::WallTimer wait_timer;
+  cv_data_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+  stall_seconds_ += wait_timer.seconds();
+  if (queue_.empty()) return std::nullopt;  // stopped
+  Batch batch = std::move(queue_.front());
+  queue_.pop_front();
+  ++batches_taken_;
+  const bool done = batches_taken_ >= total_batches_;
+  lock.unlock();
+  cv_space_.notify_one();
+  if (done) join_workers();
+  return batch;
+}
+
+double DataLoader::fetch_seconds() const {
+  double total = 0.0;
+  for (double s : worker_fetch_seconds_) total += s;
+  return total;
+}
+
+void DataLoader::join_workers() {
+  for (auto& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+}
+
+}  // namespace fairdms::store

@@ -1,0 +1,91 @@
+// Multi-worker prefetching DataLoader (PyTorch analog).
+//
+// The paper (§III-D) extends the PyTorch DataLoader to fetch training data
+// from MongoDB with many concurrent clients so per-fetch latency is hidden
+// behind compute. We reproduce the same three abstractions:
+//   Dataset  — random access to samples (store/dataset.hpp),
+//   Sampler  — a shuffled index permutation per epoch,
+//   DataLoader — worker threads that materialize mini-batches into a
+//                bounded prefetch queue.
+// Accounting: `stall_seconds` is the time the training loop spent blocked on
+// next() (I/O not hidden by prefetch); `fetch_seconds` is total worker time
+// spent fetching+decoding (the per-iteration I/O cost of Figs. 6b/7b/8b).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "store/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace fairdms::store {
+
+struct Batch {
+  nn::Tensor xs;
+  nn::Tensor ys;
+};
+
+struct LoaderConfig {
+  std::size_t batch_size = 32;
+  std::size_t workers = 4;
+  std::size_t prefetch_batches = 8;  ///< bounded queue depth
+  bool shuffle = true;
+  std::uint64_t seed = 1234;
+  bool drop_last = false;
+};
+
+class DataLoader {
+ public:
+  DataLoader(const Dataset& dataset, LoaderConfig config);
+  ~DataLoader();
+
+  DataLoader(const DataLoader&) = delete;
+  DataLoader& operator=(const DataLoader&) = delete;
+
+  /// Begins a new pass: reshuffles (seed, epoch)-deterministically and
+  /// spawns workers. Must not be called while an epoch is in flight.
+  void start_epoch(std::size_t epoch);
+
+  /// Next prefetched batch; std::nullopt when the epoch is exhausted
+  /// (workers are joined at that point).
+  std::optional<Batch> next();
+
+  [[nodiscard]] std::size_t batches_per_epoch() const;
+
+  /// Time next() spent blocked waiting for data this epoch (seconds).
+  [[nodiscard]] double stall_seconds() const { return stall_seconds_; }
+  /// Total worker time spent in Dataset::get + batch assembly this epoch.
+  [[nodiscard]] double fetch_seconds() const;
+  [[nodiscard]] std::size_t batches_delivered() const {
+    return batches_taken_;
+  }
+
+ private:
+  void worker_loop(std::size_t worker_id);
+  void join_workers();
+
+  const Dataset* dataset_;
+  LoaderConfig config_;
+  std::vector<std::size_t> order_;
+
+  std::vector<std::thread> workers_;
+  std::vector<double> worker_fetch_seconds_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_space_;
+  std::condition_variable cv_data_;
+  std::deque<Batch> queue_;
+  std::size_t next_claim_ = 0;   // next batch index a worker may claim
+  std::size_t produced_ = 0;     // batches pushed to the queue
+  std::size_t batches_taken_ = 0;
+  std::size_t total_batches_ = 0;
+  bool stopping_ = false;
+  double stall_seconds_ = 0.0;
+};
+
+}  // namespace fairdms::store

@@ -1,0 +1,100 @@
+#include "store/dataset.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace fairdms::store {
+
+namespace {
+std::size_t shape_elems(const std::vector<std::size_t>& shape) {
+  std::size_t n = 1;
+  for (std::size_t d : shape) n *= d;
+  return shape.empty() ? 0 : n;
+}
+}  // namespace
+
+InMemoryDataset::InMemoryDataset(nn::Batchset data)
+    : data_(std::move(data)), count_(data_.size()) {
+  FAIRDMS_CHECK(count_ > 0, "InMemoryDataset: empty batchset");
+  x_shape_.assign(data_.xs.shape().begin() + 1, data_.xs.shape().end());
+  y_shape_.assign(data_.ys.shape().begin() + 1, data_.ys.shape().end());
+}
+
+void InMemoryDataset::get(std::size_t index, Sample& out) const {
+  FAIRDMS_CHECK(index < count_, "InMemoryDataset: index out of range");
+  const std::size_t xe = shape_elems(x_shape_);
+  const std::size_t ye = shape_elems(y_shape_);
+  out.x.assign(data_.xs.data() + index * xe,
+               data_.xs.data() + (index + 1) * xe);
+  out.y.assign(data_.ys.data() + index * ye,
+               data_.ys.data() + (index + 1) * ye);
+}
+
+MongoDataset::MongoDataset(Collection& collection,
+                           std::unique_ptr<Codec> codec,
+                           std::vector<std::size_t> x_shape,
+                           std::vector<std::size_t> y_shape)
+    : collection_(&collection),
+      codec_(std::move(codec)),
+      x_shape_(std::move(x_shape)),
+      y_shape_(std::move(y_shape)) {
+  FAIRDMS_CHECK(codec_ != nullptr, "MongoDataset: null codec");
+}
+
+std::unique_ptr<MongoDataset> MongoDataset::ingest(
+    Collection& collection, const nn::Batchset& data,
+    const std::string& codec_name) {
+  FAIRDMS_CHECK(data.size() > 0, "MongoDataset::ingest: empty batchset");
+  auto codec = make_codec(codec_name);
+  std::vector<std::size_t> xs(data.xs.shape().begin() + 1,
+                              data.xs.shape().end());
+  std::vector<std::size_t> ys(data.ys.shape().begin() + 1,
+                              data.ys.shape().end());
+  const std::size_t xe = shape_elems(xs);
+  const std::size_t ye = shape_elems(ys);
+
+  std::vector<Value> docs;
+  docs.reserve(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    Object doc;
+    doc["index"] = Value(static_cast<std::int64_t>(i));
+    doc["x"] = Value(codec->encode({data.xs.data() + i * xe, xe}));
+    doc["y"] = Value(codec->encode({data.ys.data() + i * ye, ye}));
+    docs.emplace_back(std::move(doc));
+  }
+  collection.create_index("index");
+  collection.insert_many(std::move(docs));
+  return std::make_unique<MongoDataset>(collection, std::move(codec),
+                                        std::move(xs), std::move(ys));
+}
+
+std::size_t MongoDataset::size() const { return collection_->size(); }
+
+void MongoDataset::get(std::size_t index, Sample& out) const {
+  const auto ids =
+      collection_->find_eq("index", Value(static_cast<std::int64_t>(index)));
+  FAIRDMS_CHECK(!ids.empty(), "MongoDataset: no document for index ", index);
+  const auto doc = collection_->find_by_id(ids.front());
+  FAIRDMS_CHECK(doc.has_value(), "MongoDataset: document vanished");
+  codec_->decode(doc->at("x").as_binary(), out.x);
+  codec_->decode(doc->at("y").as_binary(), out.y);
+  FAIRDMS_CHECK(out.x.size() == shape_elems(x_shape_),
+                "MongoDataset: decoded x size mismatch");
+  FAIRDMS_CHECK(out.y.size() == shape_elems(y_shape_),
+                "MongoDataset: decoded y size mismatch");
+}
+
+NfsDataset::NfsDataset(const NfsStore& nfs, std::string name)
+    : nfs_(&nfs), name_(std::move(name)) {
+  count_ = nfs_->sample_count(name_);
+  x_shape_ = nfs_->x_shape(name_);
+  y_shape_ = nfs_->y_shape(name_);
+  FAIRDMS_CHECK(count_ > 0, "NfsDataset: dataset '", name_, "' is empty");
+}
+
+void NfsDataset::get(std::size_t index, Sample& out) const {
+  nfs_->read_sample(name_, index, out.x, out.y);
+}
+
+}  // namespace fairdms::store

@@ -1,0 +1,106 @@
+// Dataset abstraction consumed by the DataLoader (the PyTorch Dataset
+// analog): random access to (x, y) sample pairs with uniform per-sample
+// shapes. Three backends mirror the paper's storage configurations:
+// in-memory (tests), MongoDB-analog document store with a pluggable codec
+// (Blosc/Pickle), and NFS-analog file store (raw bytes).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/trainer.hpp"
+#include "store/codec.hpp"
+#include "store/docstore.hpp"
+#include "store/nfs.hpp"
+
+namespace fairdms::store {
+
+struct Sample {
+  std::vector<float> x;
+  std::vector<float> y;
+};
+
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  /// Thread-safe random access (DataLoader workers call concurrently).
+  virtual void get(std::size_t index, Sample& out) const = 0;
+  /// Per-sample shapes, excluding the batch dimension.
+  [[nodiscard]] virtual std::vector<std::size_t> x_shape() const = 0;
+  [[nodiscard]] virtual std::vector<std::size_t> y_shape() const = 0;
+};
+
+/// Wraps a Batchset already resident in RAM.
+class InMemoryDataset final : public Dataset {
+ public:
+  explicit InMemoryDataset(nn::Batchset data);
+  [[nodiscard]] std::size_t size() const override { return count_; }
+  void get(std::size_t index, Sample& out) const override;
+  [[nodiscard]] std::vector<std::size_t> x_shape() const override {
+    return x_shape_;
+  }
+  [[nodiscard]] std::vector<std::size_t> y_shape() const override {
+    return y_shape_;
+  }
+
+ private:
+  nn::Batchset data_;
+  std::size_t count_;
+  std::vector<std::size_t> x_shape_;
+  std::vector<std::size_t> y_shape_;
+};
+
+/// Samples stored as documents {index, x: Binary, y: Binary} in a
+/// collection, payloads encoded with `codec`. `ingest` bulk-loads a
+/// Batchset and builds the index on "index".
+class MongoDataset final : public Dataset {
+ public:
+  MongoDataset(Collection& collection, std::unique_ptr<Codec> codec,
+               std::vector<std::size_t> x_shape,
+               std::vector<std::size_t> y_shape);
+
+  /// Encodes and bulk-inserts `data`; returns a ready-to-read dataset.
+  static std::unique_ptr<MongoDataset> ingest(Collection& collection,
+                                              const nn::Batchset& data,
+                                              const std::string& codec_name);
+
+  [[nodiscard]] std::size_t size() const override;
+  void get(std::size_t index, Sample& out) const override;
+  [[nodiscard]] std::vector<std::size_t> x_shape() const override {
+    return x_shape_;
+  }
+  [[nodiscard]] std::vector<std::size_t> y_shape() const override {
+    return y_shape_;
+  }
+
+ private:
+  Collection* collection_;
+  std::unique_ptr<Codec> codec_;
+  std::vector<std::size_t> x_shape_;
+  std::vector<std::size_t> y_shape_;
+};
+
+/// Samples read from an NfsStore dataset written earlier.
+class NfsDataset final : public Dataset {
+ public:
+  NfsDataset(const NfsStore& nfs, std::string name);
+  [[nodiscard]] std::size_t size() const override { return count_; }
+  void get(std::size_t index, Sample& out) const override;
+  [[nodiscard]] std::vector<std::size_t> x_shape() const override {
+    return x_shape_;
+  }
+  [[nodiscard]] std::vector<std::size_t> y_shape() const override {
+    return y_shape_;
+  }
+
+ private:
+  const NfsStore* nfs_;
+  std::string name_;
+  std::size_t count_;
+  std::vector<std::size_t> x_shape_;
+  std::vector<std::size_t> y_shape_;
+};
+
+}  // namespace fairdms::store

@@ -1,0 +1,270 @@
+#include "store/docstore.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "util/check.hpp"
+
+namespace fairdms::store {
+
+std::size_t Collection::doc_bytes(const Value& doc) {
+  Binary buf;
+  doc.encode(buf);
+  return buf.size();
+}
+
+DocId Collection::insert_one(Value doc) {
+  FAIRDMS_CHECK(doc.is_object(), "insert_one: document must be an object");
+  std::unique_lock lock(mutex_);
+  const DocId id = next_id_++;
+  doc.as_object()["_id"] = Value(static_cast<std::int64_t>(id));
+  const std::size_t bytes = doc_bytes(doc);
+  payload_bytes_ += bytes;
+  index_insert_locked(id, doc);
+  docs_.emplace(id, std::move(doc));
+  lock.unlock();
+  charge(bytes + 64);  // request envelope
+  return id;
+}
+
+std::vector<DocId> Collection::insert_many(std::vector<Value> docs) {
+  std::vector<DocId> ids;
+  ids.reserve(docs.size());
+  std::size_t total_bytes = 0;
+  {
+    std::unique_lock lock(mutex_);
+    for (Value& doc : docs) {
+      FAIRDMS_CHECK(doc.is_object(), "insert_many: document must be object");
+      const DocId id = next_id_++;
+      doc.as_object()["_id"] = Value(static_cast<std::int64_t>(id));
+      total_bytes += doc_bytes(doc);
+      index_insert_locked(id, doc);
+      docs_.emplace(id, std::move(doc));
+      ids.push_back(id);
+    }
+    payload_bytes_ += total_bytes;
+  }
+  charge(total_bytes + 64);  // one batched round trip
+  return ids;
+}
+
+std::optional<Value> Collection::find_by_id(DocId id) const {
+  std::optional<Value> out;
+  std::size_t bytes = 64;
+  {
+    std::shared_lock lock(mutex_);
+    auto it = docs_.find(id);
+    if (it != docs_.end()) {
+      out = it->second;
+      bytes += doc_bytes(it->second);
+    }
+  }
+  charge(bytes);
+  return out;
+}
+
+bool Collection::replace_one(DocId id, Value doc) {
+  FAIRDMS_CHECK(doc.is_object(), "replace_one: document must be an object");
+  std::size_t bytes = 64;
+  bool found = false;
+  {
+    std::unique_lock lock(mutex_);
+    auto it = docs_.find(id);
+    if (it != docs_.end()) {
+      index_remove_locked(id, it->second);
+      payload_bytes_ -= doc_bytes(it->second);
+      doc.as_object()["_id"] = Value(static_cast<std::int64_t>(id));
+      bytes += doc_bytes(doc);
+      payload_bytes_ += doc_bytes(doc);
+      index_insert_locked(id, doc);
+      it->second = std::move(doc);
+      found = true;
+    }
+  }
+  charge(bytes);
+  return found;
+}
+
+bool Collection::update_field(DocId id, const std::string& field,
+                              Value value) {
+  bool found = false;
+  {
+    std::unique_lock lock(mutex_);
+    auto it = docs_.find(id);
+    if (it != docs_.end()) {
+      index_remove_locked(id, it->second);
+      it->second.as_object()[field] = std::move(value);
+      index_insert_locked(id, it->second);
+      found = true;
+    }
+  }
+  charge(128);
+  return found;
+}
+
+bool Collection::remove_one(DocId id) {
+  bool found = false;
+  {
+    std::unique_lock lock(mutex_);
+    auto it = docs_.find(id);
+    if (it != docs_.end()) {
+      index_remove_locked(id, it->second);
+      payload_bytes_ -= doc_bytes(it->second);
+      docs_.erase(it);
+      found = true;
+    }
+  }
+  charge(64);
+  return found;
+}
+
+void Collection::create_index(const std::string& field) {
+  std::unique_lock lock(mutex_);
+  if (indexes_.count(field) > 0) return;
+  auto& index = indexes_[field];
+  for (const auto& [id, doc] : docs_) {
+    if (doc.contains(field)) index[doc.at(field)].push_back(id);
+  }
+}
+
+bool Collection::has_index(const std::string& field) const {
+  std::shared_lock lock(mutex_);
+  return indexes_.count(field) > 0;
+}
+
+std::vector<DocId> Collection::find_eq(const std::string& field,
+                                       const Value& value) const {
+  std::vector<DocId> out;
+  {
+    std::shared_lock lock(mutex_);
+    auto idx = indexes_.find(field);
+    if (idx != indexes_.end()) {
+      auto it = idx->second.find(value);
+      if (it != idx->second.end()) out = it->second;
+    } else {
+      for (const auto& [id, doc] : docs_) {
+        if (doc.contains(field) && doc.at(field) == value) out.push_back(id);
+      }
+      std::sort(out.begin(), out.end());
+    }
+  }
+  charge(64 + out.size() * 8);
+  return out;
+}
+
+std::vector<DocId> Collection::find_range(const std::string& field,
+                                          const Value& lo,
+                                          const Value& hi) const {
+  std::vector<DocId> out;
+  {
+    std::shared_lock lock(mutex_);
+    auto idx = indexes_.find(field);
+    if (idx != indexes_.end()) {
+      for (auto it = idx->second.lower_bound(lo);
+           it != idx->second.end() && it->first < hi; ++it) {
+        out.insert(out.end(), it->second.begin(), it->second.end());
+      }
+    } else {
+      for (const auto& [id, doc] : docs_) {
+        if (!doc.contains(field)) continue;
+        const Value& v = doc.at(field);
+        if (!(v < lo) && v < hi) out.push_back(id);
+      }
+      std::sort(out.begin(), out.end());
+    }
+  }
+  charge(64 + out.size() * 8);
+  return out;
+}
+
+void Collection::scan(
+    const std::function<void(DocId, const Value&)>& fn) const {
+  std::shared_lock lock(mutex_);
+  for (const auto& [id, doc] : docs_) fn(id, doc);
+}
+
+std::size_t Collection::size() const {
+  std::shared_lock lock(mutex_);
+  return docs_.size();
+}
+
+std::size_t Collection::approx_bytes() const {
+  std::shared_lock lock(mutex_);
+  return payload_bytes_;
+}
+
+std::vector<std::string> Collection::index_fields() const {
+  std::shared_lock lock(mutex_);
+  std::vector<std::string> fields;
+  fields.reserve(indexes_.size());
+  for (const auto& [field, _] : indexes_) fields.push_back(field);
+  std::sort(fields.begin(), fields.end());
+  return fields;
+}
+
+DocId Collection::next_id() const {
+  std::shared_lock lock(mutex_);
+  return next_id_;
+}
+
+void Collection::restore(DocId next_id,
+                         std::vector<std::pair<DocId, Value>> documents) {
+  std::unique_lock lock(mutex_);
+  FAIRDMS_CHECK(docs_.empty(), "restore into non-empty collection '", name_,
+                "'");
+  next_id_ = next_id;
+  for (auto& [id, doc] : documents) {
+    FAIRDMS_CHECK(doc.is_object(), "restore: document must be an object");
+    FAIRDMS_CHECK(id < next_id, "restore: id ", id, " >= next_id ", next_id);
+    payload_bytes_ += doc_bytes(doc);
+    index_insert_locked(id, doc);
+    docs_.emplace(id, std::move(doc));
+  }
+}
+
+void Collection::index_insert_locked(DocId id, const Value& doc) {
+  for (auto& [field, index] : indexes_) {
+    if (doc.contains(field)) index[doc.at(field)].push_back(id);
+  }
+}
+
+void Collection::index_remove_locked(DocId id, const Value& doc) {
+  for (auto& [field, index] : indexes_) {
+    if (!doc.contains(field)) continue;
+    auto it = index.find(doc.at(field));
+    if (it == index.end()) continue;
+    auto& ids = it->second;
+    ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
+    if (ids.empty()) index.erase(it);
+  }
+}
+
+Collection& DocStore::collection(const std::string& name) {
+  {
+    std::shared_lock lock(mutex_);
+    auto it = collections_.find(name);
+    if (it != collections_.end()) return *it->second;
+  }
+  std::unique_lock lock(mutex_);
+  auto& slot = collections_[name];
+  if (!slot) {
+    slot = std::make_unique<Collection>(name,
+                                        is_remote() ? &link_ : nullptr);
+  }
+  return *slot;
+}
+
+bool DocStore::has_collection(const std::string& name) const {
+  std::shared_lock lock(mutex_);
+  return collections_.count(name) > 0;
+}
+
+std::vector<std::string> DocStore::collection_names() const {
+  std::shared_lock lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(collections_.size());
+  for (const auto& [name, _] : collections_) names.push_back(name);
+  return names;
+}
+
+}  // namespace fairdms::store

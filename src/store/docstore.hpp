@@ -1,0 +1,124 @@
+// MongoDB-analog document store.
+//
+// Implements the subset the paper's fairDS backend needs (§II-A key
+// requirements): large-collection storage, secondary indexes for efficient
+// lookup, document updates, parallel reads (shared lock) and exclusive
+// writes. Documents are store::Value objects; every document receives an
+// integral `_id`. An optional RemoteLink charges network time per operation,
+// modeling the remotely hosted deployment of the paper's evaluation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "store/document.hpp"
+#include "store/remote_link.hpp"
+
+namespace fairdms::store {
+
+using DocId = std::uint64_t;
+
+class Collection {
+ public:
+  explicit Collection(std::string name, const RemoteLink* link = nullptr)
+      : name_(std::move(name)), link_(link) {}
+
+  [[nodiscard]] const std::string& collection_name() const { return name_; }
+
+  /// Inserts a document (object Value), returns its _id. The `_id` field is
+  /// added/overwritten on the stored copy.
+  DocId insert_one(Value doc);
+  /// Bulk insert; returns ids in order. One exclusive lock for the batch —
+  /// the "parallel writes during data update" path of the paper.
+  std::vector<DocId> insert_many(std::vector<Value> docs);
+
+  /// Fetches a document copy by id.
+  [[nodiscard]] std::optional<Value> find_by_id(DocId id) const;
+
+  /// Replaces document `id`; returns false if absent.
+  bool replace_one(DocId id, Value doc);
+  /// Sets a single field on document `id`; returns false if absent.
+  bool update_field(DocId id, const std::string& field, Value value);
+  bool remove_one(DocId id);
+
+  /// Secondary index on a scalar field. Indexes are maintained on every
+  /// subsequent insert/update; existing documents are indexed on creation.
+  void create_index(const std::string& field);
+  [[nodiscard]] bool has_index(const std::string& field) const;
+
+  /// ids of documents whose `field` equals `value`. Uses the index when one
+  /// exists, otherwise a collection scan.
+  [[nodiscard]] std::vector<DocId> find_eq(const std::string& field,
+                                           const Value& value) const;
+  /// ids with lo <= field < hi (ordered-index range scan or collection scan).
+  [[nodiscard]] std::vector<DocId> find_range(const std::string& field,
+                                              const Value& lo,
+                                              const Value& hi) const;
+
+  /// Applies fn to every (id, doc) under a shared lock.
+  void scan(const std::function<void(DocId, const Value&)>& fn) const;
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// Approximate resident bytes (document payloads only).
+  [[nodiscard]] std::size_t approx_bytes() const;
+
+  /// Fields with secondary indexes (snapshot support).
+  [[nodiscard]] std::vector<std::string> index_fields() const;
+  /// Highest-issued-plus-one document id (snapshot support).
+  [[nodiscard]] DocId next_id() const;
+  /// Restores a snapshot into an *empty* collection: sets the id counter,
+  /// inserts documents under their original ids, rebuilds all indexes.
+  void restore(DocId next_id,
+               std::vector<std::pair<DocId, Value>> documents);
+
+ private:
+  void index_insert_locked(DocId id, const Value& doc);
+  void index_remove_locked(DocId id, const Value& doc);
+  void charge(std::size_t bytes) const {
+    if (link_ != nullptr) link_->charge(bytes);
+  }
+  static std::size_t doc_bytes(const Value& doc);
+
+  std::string name_;
+  const RemoteLink* link_;
+  mutable std::shared_mutex mutex_;
+  DocId next_id_ = 1;
+  std::unordered_map<DocId, Value> docs_;
+  std::size_t payload_bytes_ = 0;
+  /// field -> (value -> ids); std::map keys give ordered range scans.
+  std::unordered_map<std::string, std::map<Value, std::vector<DocId>>>
+      indexes_;
+};
+
+/// A named set of collections, sharing one remote-link model.
+class DocStore {
+ public:
+  DocStore() = default;
+  explicit DocStore(RemoteLinkConfig link_config) : link_(link_config) {}
+
+  /// Gets or creates a collection.
+  Collection& collection(const std::string& name);
+  [[nodiscard]] bool has_collection(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> collection_names() const;
+
+  [[nodiscard]] const RemoteLink& link() const { return link_; }
+  [[nodiscard]] bool is_remote() const {
+    return link_.config().latency_seconds > 0.0;
+  }
+
+ private:
+  RemoteLink link_{RemoteLinkConfig{.latency_seconds = 0.0,
+                                    .bandwidth_bytes_per_s = 1e12}};
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, std::unique_ptr<Collection>> collections_;
+};
+
+}  // namespace fairdms::store

@@ -1,0 +1,281 @@
+#include "store/document.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace fairdms::store {
+
+namespace {
+
+enum class Tag : std::uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt = 2,
+  kDouble = 3,
+  kString = 4,
+  kBinary = 5,
+  kArray = 6,
+  kObject = 7,
+};
+
+void put_u64(Binary& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint64_t get_u64(const Binary& in, std::size_t& pos) {
+  FAIRDMS_CHECK(pos + 8 <= in.size(), "document decode: truncated u64");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{in[pos++]} << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+bool Value::as_bool() const {
+  FAIRDMS_CHECK(is_bool(), "Value: not a bool");
+  return std::get<bool>(data_);
+}
+
+std::int64_t Value::as_int() const {
+  FAIRDMS_CHECK(is_int(), "Value: not an int");
+  return std::get<std::int64_t>(data_);
+}
+
+double Value::as_double() const {
+  if (is_int()) return static_cast<double>(std::get<std::int64_t>(data_));
+  FAIRDMS_CHECK(is_double(), "Value: not a double");
+  return std::get<double>(data_);
+}
+
+const std::string& Value::as_string() const {
+  FAIRDMS_CHECK(is_string(), "Value: not a string");
+  return std::get<std::string>(data_);
+}
+
+const Binary& Value::as_binary() const {
+  FAIRDMS_CHECK(is_binary(), "Value: not binary");
+  return std::get<Binary>(data_);
+}
+
+const Array& Value::as_array() const {
+  FAIRDMS_CHECK(is_array(), "Value: not an array");
+  return std::get<Array>(data_);
+}
+
+const Object& Value::as_object() const {
+  FAIRDMS_CHECK(is_object(), "Value: not an object");
+  return std::get<Object>(data_);
+}
+
+Object& Value::as_object() {
+  FAIRDMS_CHECK(is_object(), "Value: not an object");
+  return std::get<Object>(data_);
+}
+
+const Value& Value::at(const std::string& key) const {
+  const Object& obj = as_object();
+  auto it = obj.find(key);
+  FAIRDMS_CHECK(it != obj.end(), "Value: missing field '", key, "'");
+  return it->second;
+}
+
+bool Value::contains(const std::string& key) const {
+  return is_object() && as_object().count(key) > 0;
+}
+
+int Value::compare(const Value& other) const {
+  const auto ti = data_.index();
+  const auto to = other.data_.index();
+  if (ti != to) return ti < to ? -1 : 1;
+  if (is_null()) return 0;
+  if (is_bool()) {
+    return static_cast<int>(as_bool()) - static_cast<int>(other.as_bool());
+  }
+  if (is_int()) {
+    const auto a = as_int(), b = other.as_int();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (is_double()) {
+    const double a = std::get<double>(data_);
+    const double b = std::get<double>(other.data_);
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (is_string()) return as_string().compare(other.as_string());
+  if (is_binary()) {
+    const Binary& a = as_binary();
+    const Binary& b = other.as_binary();
+    if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+    return std::memcmp(a.data(), b.data(), a.size());
+  }
+  if (is_array()) {
+    const Array& a = as_array();
+    const Array& b = other.as_array();
+    for (std::size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+      const int c = a[i].compare(b[i]);
+      if (c != 0) return c;
+    }
+    return a.size() == b.size() ? 0 : (a.size() < b.size() ? -1 : 1);
+  }
+  // object: compare as sorted key/value sequences (std::map is sorted).
+  const Object& a = as_object();
+  const Object& b = other.as_object();
+  auto ia = a.begin();
+  auto ib = b.begin();
+  for (; ia != a.end() && ib != b.end(); ++ia, ++ib) {
+    const int ck = ia->first.compare(ib->first);
+    if (ck != 0) return ck;
+    const int cv = ia->second.compare(ib->second);
+    if (cv != 0) return cv;
+  }
+  return a.size() == b.size() ? 0 : (a.size() < b.size() ? -1 : 1);
+}
+
+void Value::encode(Binary& out) const {
+  if (is_null()) {
+    out.push_back(static_cast<std::uint8_t>(Tag::kNull));
+  } else if (is_bool()) {
+    out.push_back(static_cast<std::uint8_t>(Tag::kBool));
+    out.push_back(as_bool() ? 1 : 0);
+  } else if (is_int()) {
+    out.push_back(static_cast<std::uint8_t>(Tag::kInt));
+    put_u64(out, static_cast<std::uint64_t>(as_int()));
+  } else if (is_double()) {
+    out.push_back(static_cast<std::uint8_t>(Tag::kDouble));
+    std::uint64_t bits;
+    const double d = std::get<double>(data_);
+    std::memcpy(&bits, &d, 8);
+    put_u64(out, bits);
+  } else if (is_string()) {
+    out.push_back(static_cast<std::uint8_t>(Tag::kString));
+    const std::string& s = as_string();
+    put_u64(out, s.size());
+    out.insert(out.end(), s.begin(), s.end());
+  } else if (is_binary()) {
+    out.push_back(static_cast<std::uint8_t>(Tag::kBinary));
+    const Binary& b = as_binary();
+    put_u64(out, b.size());
+    out.insert(out.end(), b.begin(), b.end());
+  } else if (is_array()) {
+    out.push_back(static_cast<std::uint8_t>(Tag::kArray));
+    const Array& a = as_array();
+    put_u64(out, a.size());
+    for (const Value& v : a) v.encode(out);
+  } else {
+    out.push_back(static_cast<std::uint8_t>(Tag::kObject));
+    const Object& o = as_object();
+    put_u64(out, o.size());
+    for (const auto& [k, v] : o) {
+      put_u64(out, k.size());
+      out.insert(out.end(), k.begin(), k.end());
+      v.encode(out);
+    }
+  }
+}
+
+Value Value::decode(const Binary& in, std::size_t& pos) {
+  FAIRDMS_CHECK(pos < in.size(), "document decode: truncated tag");
+  const auto tag = static_cast<Tag>(in[pos++]);
+  switch (tag) {
+    case Tag::kNull:
+      return Value(nullptr);
+    case Tag::kBool: {
+      FAIRDMS_CHECK(pos < in.size(), "document decode: truncated bool");
+      return Value(in[pos++] != 0);
+    }
+    case Tag::kInt:
+      return Value(static_cast<std::int64_t>(get_u64(in, pos)));
+    case Tag::kDouble: {
+      const std::uint64_t bits = get_u64(in, pos);
+      double d;
+      std::memcpy(&d, &bits, 8);
+      return Value(d);
+    }
+    case Tag::kString: {
+      const std::uint64_t n = get_u64(in, pos);
+      FAIRDMS_CHECK(pos + n <= in.size(), "document decode: truncated string");
+      std::string s(in.begin() + static_cast<std::ptrdiff_t>(pos),
+                    in.begin() + static_cast<std::ptrdiff_t>(pos + n));
+      pos += n;
+      return Value(std::move(s));
+    }
+    case Tag::kBinary: {
+      const std::uint64_t n = get_u64(in, pos);
+      FAIRDMS_CHECK(pos + n <= in.size(), "document decode: truncated binary");
+      Binary b(in.begin() + static_cast<std::ptrdiff_t>(pos),
+               in.begin() + static_cast<std::ptrdiff_t>(pos + n));
+      pos += n;
+      return Value(std::move(b));
+    }
+    case Tag::kArray: {
+      const std::uint64_t n = get_u64(in, pos);
+      Array a;
+      a.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) a.push_back(decode(in, pos));
+      return Value(std::move(a));
+    }
+    case Tag::kObject: {
+      const std::uint64_t n = get_u64(in, pos);
+      Object o;
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint64_t klen = get_u64(in, pos);
+        FAIRDMS_CHECK(pos + klen <= in.size(),
+                      "document decode: truncated key");
+        std::string key(in.begin() + static_cast<std::ptrdiff_t>(pos),
+                        in.begin() + static_cast<std::ptrdiff_t>(pos + klen));
+        pos += klen;
+        o.emplace(std::move(key), decode(in, pos));
+      }
+      return Value(std::move(o));
+    }
+  }
+  FAIRDMS_CHECK(false, "document decode: unknown tag");
+  return Value(nullptr);
+}
+
+Value Value::decode(const Binary& in) {
+  std::size_t pos = 0;
+  Value v = decode(in, pos);
+  FAIRDMS_CHECK(pos == in.size(), "document decode: trailing bytes");
+  return v;
+}
+
+std::string Value::to_json() const {
+  std::ostringstream oss;
+  if (is_null()) {
+    oss << "null";
+  } else if (is_bool()) {
+    oss << (as_bool() ? "true" : "false");
+  } else if (is_int()) {
+    oss << as_int();
+  } else if (is_double()) {
+    oss << std::get<double>(data_);
+  } else if (is_string()) {
+    oss << '"' << as_string() << '"';
+  } else if (is_binary()) {
+    oss << "\"<" << as_binary().size() << " bytes>\"";
+  } else if (is_array()) {
+    oss << '[';
+    const Array& a = as_array();
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (i) oss << ',';
+      oss << a[i].to_json();
+    }
+    oss << ']';
+  } else {
+    oss << '{';
+    bool first = true;
+    for (const auto& [k, v] : as_object()) {
+      if (!first) oss << ',';
+      first = false;
+      oss << '"' << k << "\":" << v.to_json();
+    }
+    oss << '}';
+  }
+  return oss.str();
+}
+
+}  // namespace fairdms::store

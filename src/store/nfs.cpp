@@ -1,0 +1,135 @@
+#include "store/nfs.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/check.hpp"
+
+namespace fairdms::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::size_t shape_elems(const std::vector<std::size_t>& shape) {
+  std::size_t n = 1;
+  for (std::size_t d : shape) n *= d;
+  return shape.empty() ? 0 : n;
+}
+
+void write_shape(std::ofstream& out, const std::vector<std::size_t>& shape) {
+  const std::uint64_t rank = shape.size();
+  out.write(reinterpret_cast<const char*>(&rank), 8);
+  for (std::size_t d : shape) {
+    const std::uint64_t v = d;
+    out.write(reinterpret_cast<const char*>(&v), 8);
+  }
+}
+
+std::vector<std::size_t> read_shape(std::ifstream& in) {
+  std::uint64_t rank = 0;
+  in.read(reinterpret_cast<char*>(&rank), 8);
+  std::vector<std::size_t> shape(rank);
+  for (std::uint64_t i = 0; i < rank; ++i) {
+    std::uint64_t v = 0;
+    in.read(reinterpret_cast<char*>(&v), 8);
+    shape[i] = v;
+  }
+  return shape;
+}
+
+}  // namespace
+
+NfsStore::NfsStore(std::string root, RemoteLinkConfig link_config)
+    : root_(std::move(root)), link_(link_config) {
+  fs::create_directories(root_);
+}
+
+std::string NfsStore::sample_path(const std::string& name,
+                                  std::size_t index) const {
+  return root_ + "/" + name + "_" + std::to_string(index) + ".bin";
+}
+
+void NfsStore::write_dataset(const std::string& name,
+                             const nn::Batchset& data) {
+  FAIRDMS_CHECK(data.size() > 0, "write_dataset: empty batchset");
+  {
+    std::lock_guard lock(meta_mutex_);
+    meta_cache_.erase(name);
+  }
+  const std::size_t n = data.size();
+  std::vector<std::size_t> xs(data.xs.shape().begin() + 1,
+                              data.xs.shape().end());
+  std::vector<std::size_t> ys(data.ys.shape().begin() + 1,
+                              data.ys.shape().end());
+  const std::size_t x_elems = shape_elems(xs);
+  const std::size_t y_elems = shape_elems(ys);
+
+  {
+    std::ofstream meta(root_ + "/" + name + ".meta", std::ios::binary);
+    FAIRDMS_CHECK(meta.good(), "cannot write NFS metadata for ", name);
+    const std::uint64_t count = n;
+    meta.write(reinterpret_cast<const char*>(&count), 8);
+    write_shape(meta, xs);
+    write_shape(meta, ys);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    std::ofstream out(sample_path(name, i), std::ios::binary);
+    FAIRDMS_CHECK(out.good(), "cannot write NFS sample ", i, " of ", name);
+    out.write(reinterpret_cast<const char*>(data.xs.data() + i * x_elems),
+              static_cast<std::streamsize>(x_elems * 4));
+    out.write(reinterpret_cast<const char*>(data.ys.data() + i * y_elems),
+              static_cast<std::streamsize>(y_elems * 4));
+    FAIRDMS_CHECK(out.good(), "short write for NFS sample ", i);
+  }
+}
+
+const NfsStore::Meta& NfsStore::read_meta(const std::string& name) const {
+  std::lock_guard lock(meta_mutex_);
+  auto it = meta_cache_.find(name);
+  if (it != meta_cache_.end()) return it->second;
+  std::ifstream in(root_ + "/" + name + ".meta", std::ios::binary);
+  FAIRDMS_CHECK(in.good(), "missing NFS metadata for ", name);
+  Meta meta;
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), 8);
+  meta.count = count;
+  meta.x_shape = read_shape(in);
+  meta.y_shape = read_shape(in);
+  FAIRDMS_CHECK(in.good(), "corrupt NFS metadata for ", name);
+  return meta_cache_.emplace(name, std::move(meta)).first->second;
+}
+
+std::vector<std::size_t> NfsStore::x_shape(const std::string& name) const {
+  return read_meta(name).x_shape;
+}
+
+std::vector<std::size_t> NfsStore::y_shape(const std::string& name) const {
+  return read_meta(name).y_shape;
+}
+
+std::size_t NfsStore::sample_count(const std::string& name) const {
+  return read_meta(name).count;
+}
+
+void NfsStore::read_sample(const std::string& name, std::size_t index,
+                           std::vector<float>& x, std::vector<float>& y) const {
+  const Meta meta = read_meta(name);
+  FAIRDMS_CHECK(index < meta.count, "NFS read: index ", index,
+                " out of range for ", name);
+  const std::size_t x_elems = shape_elems(meta.x_shape);
+  const std::size_t y_elems = shape_elems(meta.y_shape);
+  x.resize(x_elems);
+  y.resize(y_elems);
+  std::ifstream in(sample_path(name, index), std::ios::binary);
+  FAIRDMS_CHECK(in.good(), "missing NFS sample ", index, " of ", name);
+  in.read(reinterpret_cast<char*>(x.data()),
+          static_cast<std::streamsize>(x_elems * 4));
+  in.read(reinterpret_cast<char*>(y.data()),
+          static_cast<std::streamsize>(y_elems * 4));
+  FAIRDMS_CHECK(in.good(), "short read for NFS sample ", index);
+  link_.charge((x_elems + y_elems) * 4 + 128);
+}
+
+}  // namespace fairdms::store

@@ -1,0 +1,55 @@
+// NFS-analog file store: one file per sample on local disk, read through the
+// same RemoteLink network model as the document store. This is the paper's
+// "read training data directly from NFS over 100 GbE" baseline: no
+// serialization layer (raw bytes), but a per-file open/request cost.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "nn/trainer.hpp"
+#include "store/remote_link.hpp"
+
+namespace fairdms::store {
+
+class NfsStore {
+ public:
+  /// Files live under `root` (created if missing).
+  NfsStore(std::string root, RemoteLinkConfig link_config);
+
+  /// Writes every sample of `data` as <root>/<name>_<i>.bin plus a metadata
+  /// file recording shapes. Overwrites existing files.
+  void write_dataset(const std::string& name, const nn::Batchset& data);
+
+  /// Per-sample shapes (without the leading batch dim).
+  [[nodiscard]] std::vector<std::size_t> x_shape(const std::string& name) const;
+  [[nodiscard]] std::vector<std::size_t> y_shape(const std::string& name) const;
+  [[nodiscard]] std::size_t sample_count(const std::string& name) const;
+
+  /// Reads sample i (x and y payloads); charges the link for the bytes.
+  void read_sample(const std::string& name, std::size_t index,
+                   std::vector<float>& x, std::vector<float>& y) const;
+
+  [[nodiscard]] const RemoteLink& link() const { return link_; }
+
+ private:
+  struct Meta {
+    std::vector<std::size_t> x_shape;
+    std::vector<std::size_t> y_shape;
+    std::size_t count = 0;
+  };
+  /// Metadata is cached after first read (clients stat once, then stream).
+  [[nodiscard]] const Meta& read_meta(const std::string& name) const;
+  [[nodiscard]] std::string sample_path(const std::string& name,
+                                        std::size_t index) const;
+
+  std::string root_;
+  RemoteLink link_;
+  mutable std::mutex meta_mutex_;
+  mutable std::map<std::string, Meta> meta_cache_;
+};
+
+}  // namespace fairdms::store

@@ -1,0 +1,137 @@
+#include "store/persist.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/check.hpp"
+
+namespace fairdms::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::uint32_t kManifestMagic = 0x464D414E;  // "FMAN"
+constexpr std::uint32_t kCollectionMagic = 0x46434F4C; // "FCOL"
+constexpr std::uint32_t kVersion = 1;
+
+void put_u32(std::ofstream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), 4);
+}
+void put_u64(std::ofstream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), 8);
+}
+void put_string(std::ofstream& out, const std::string& s) {
+  put_u64(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+std::uint32_t get_u32(std::ifstream& in) {
+  std::uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), 4);
+  return v;
+}
+std::uint64_t get_u64(std::ifstream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), 8);
+  return v;
+}
+std::string get_string(std::ifstream& in) {
+  const std::uint64_t n = get_u64(in);
+  std::string s(n, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(n));
+  return s;
+}
+
+std::string collection_path(const std::string& directory,
+                            const std::string& name) {
+  return directory + "/" + name + ".col";
+}
+
+void save_collection(const Collection& col, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  FAIRDMS_CHECK(out.good(), "cannot write snapshot file ", path);
+  put_u32(out, kCollectionMagic);
+  put_u32(out, kVersion);
+  put_u64(out, col.next_id());
+  const auto fields = col.index_fields();
+  put_u64(out, fields.size());
+  for (const auto& field : fields) put_string(out, field);
+  put_u64(out, col.size());
+  Binary buf;
+  col.scan([&](DocId id, const Value& doc) {
+    put_u64(out, id);
+    buf.clear();
+    doc.encode(buf);
+    put_u64(out, buf.size());
+    out.write(reinterpret_cast<const char*>(buf.data()),
+              static_cast<std::streamsize>(buf.size()));
+  });
+  FAIRDMS_CHECK(out.good(), "snapshot write failed for ", path);
+}
+
+void load_collection(Collection& col, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  FAIRDMS_CHECK(in.good(), "cannot read snapshot file ", path);
+  FAIRDMS_CHECK(get_u32(in) == kCollectionMagic, "bad collection magic in ",
+                path);
+  FAIRDMS_CHECK(get_u32(in) == kVersion, "bad snapshot version in ", path);
+  const DocId next_id = get_u64(in);
+  const std::uint64_t n_fields = get_u64(in);
+  for (std::uint64_t i = 0; i < n_fields; ++i) {
+    col.create_index(get_string(in));
+  }
+  const std::uint64_t count = get_u64(in);
+  std::vector<std::pair<DocId, Value>> docs;
+  docs.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const DocId id = get_u64(in);
+    const std::uint64_t bytes = get_u64(in);
+    Binary buf(bytes);
+    in.read(reinterpret_cast<char*>(buf.data()),
+            static_cast<std::streamsize>(bytes));
+    FAIRDMS_CHECK(in.good(), "truncated snapshot ", path);
+    docs.emplace_back(id, Value::decode(buf));
+  }
+  col.restore(next_id, std::move(docs));
+}
+
+}  // namespace
+
+void save_store(const DocStore& db, const std::string& directory) {
+  fs::create_directories(directory);
+  const auto names = db.collection_names();
+  {
+    std::ofstream manifest(directory + "/manifest.bin",
+                           std::ios::binary | std::ios::trunc);
+    FAIRDMS_CHECK(manifest.good(), "cannot write manifest in ", directory);
+    put_u32(manifest, kManifestMagic);
+    put_u32(manifest, kVersion);
+    put_u64(manifest, names.size());
+    for (const auto& name : names) put_string(manifest, name);
+  }
+  for (const auto& name : names) {
+    // collection() is non-const but does not mutate an existing collection.
+    save_collection(const_cast<DocStore&>(db).collection(name),
+                    collection_path(directory, name));
+  }
+}
+
+std::vector<std::string> snapshot_collections(const std::string& directory) {
+  std::ifstream manifest(directory + "/manifest.bin", std::ios::binary);
+  FAIRDMS_CHECK(manifest.good(), "no snapshot manifest in ", directory);
+  FAIRDMS_CHECK(get_u32(manifest) == kManifestMagic, "bad manifest magic");
+  FAIRDMS_CHECK(get_u32(manifest) == kVersion, "bad manifest version");
+  const std::uint64_t n = get_u64(manifest);
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) names.push_back(get_string(manifest));
+  return names;
+}
+
+void load_store(DocStore& db, const std::string& directory) {
+  for (const auto& name : snapshot_collections(directory)) {
+    load_collection(db.collection(name), collection_path(directory, name));
+  }
+}
+
+}  // namespace fairdms::store

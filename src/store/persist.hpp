@@ -1,0 +1,28 @@
+// Durable snapshots for the document store.
+//
+// MongoDB persists its collections; the FAIR premise of fairDMS (findable,
+// accessible data *and models*) requires the same of this analog: a fairDS
+// history and a model Zoo written by one campaign must be loadable by the
+// next. Snapshots are per-collection binary files plus a manifest listing
+// collections and their index definitions; indexes are rebuilt on load.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "store/docstore.hpp"
+
+namespace fairdms::store {
+
+/// Writes every collection of `db` under `directory` (created if missing).
+/// Layout: <directory>/manifest.bin + one .col file per collection.
+void save_store(const DocStore& db, const std::string& directory);
+
+/// Loads a snapshot into `db`. Collections are created as needed; loading
+/// into a non-empty collection aborts (snapshots restore fresh stores).
+void load_store(DocStore& db, const std::string& directory);
+
+/// Collections listed in a snapshot manifest (without loading documents).
+std::vector<std::string> snapshot_collections(const std::string& directory);
+
+}  // namespace fairdms::store

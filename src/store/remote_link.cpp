@@ -1,0 +1,29 @@
+#include "store/remote_link.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace fairdms::store {
+
+void RemoteLink::charge(std::size_t bytes) const {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  if (config_.latency_seconds <= 0.0) return;
+  const double wire =
+      config_.latency_seconds +
+      static_cast<double>(bytes) / config_.bandwidth_bytes_per_s;
+  // Busy-spin under ~20us (sleep granularity would over-charge), sleep above.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(wire));
+  if (wire > 20e-6) {
+    std::this_thread::sleep_until(deadline);
+  } else {
+    while (std::chrono::steady_clock::now() < deadline) {
+      // spin
+    }
+  }
+}
+
+}  // namespace fairdms::store

@@ -1,0 +1,43 @@
+// Network model for remotely hosted storage.
+//
+// The paper hosts both MongoDB and NFS on a separate node behind a 100 GbE
+// NIC; what matters for Figs. 6–8 is the per-request round trip (latency) and
+// the payload transfer time (bandwidth). RemoteLink charges both with real
+// sleeps so that DataLoader measurements include them exactly like a real
+// remote fetch would. latency = 0 disables the model (local store).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace fairdms::store {
+
+struct RemoteLinkConfig {
+  double latency_seconds = 120e-6;      ///< per-request round trip (RPC+TCP)
+  double bandwidth_bytes_per_s = 6e9;   ///< ~50 Gb/s effective of 100 GbE
+};
+
+class RemoteLink {
+ public:
+  RemoteLink() = default;
+  explicit RemoteLink(RemoteLinkConfig config) : config_(config) {}
+
+  /// Blocks for the simulated wire time of a `bytes`-sized request.
+  void charge(std::size_t bytes) const;
+
+  [[nodiscard]] const RemoteLinkConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bytes_moved() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  RemoteLinkConfig config_;
+  mutable std::atomic<std::uint64_t> requests_{0};
+  mutable std::atomic<std::uint64_t> bytes_{0};
+};
+
+}  // namespace fairdms::store

@@ -1,0 +1,42 @@
+// Invariant checking for fairDMS.
+//
+// FAIRDMS_CHECK(cond, msg...) aborts with file:line context when `cond` is
+// false. Checks stay enabled in release builds: this library backs long
+// unattended experiment campaigns where a silent bad state is far more
+// expensive than the branch.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace fairdms::util {
+
+[[noreturn]] inline void check_failed(const char* file, int line,
+                                      const char* expr,
+                                      const std::string& message) {
+  std::fprintf(stderr, "[fairdms] CHECK failed at %s:%d: (%s) %s\n", file,
+               line, expr, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+// Builds the failure message lazily so the happy path pays only for the branch.
+template <typename... Parts>
+std::string format_parts(const Parts&... parts) {
+  std::ostringstream oss;
+  (oss << ... << parts);
+  return oss.str();
+}
+
+}  // namespace fairdms::util
+
+#define FAIRDMS_CHECK(cond, ...)                                       \
+  do {                                                                 \
+    if (!(cond)) [[unlikely]] {                                        \
+      ::fairdms::util::check_failed(__FILE__, __LINE__, #cond,         \
+                                    ::fairdms::util::format_parts(     \
+                                        "" __VA_OPT__(, ) __VA_ARGS__)); \
+    }                                                                  \
+  } while (0)

@@ -1,0 +1,38 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+
+namespace fairdms::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_emit_mutex;
+
+constexpr std::string_view level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() noexcept {
+  return g_level.load(std::memory_order_relaxed);
+}
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+void log_emit(LogLevel level, std::string_view message) {
+  std::lock_guard lock(g_emit_mutex);
+  std::cerr << "[fairdms " << level_name(level) << "] " << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace fairdms::util

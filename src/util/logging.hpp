@@ -1,0 +1,48 @@
+// Minimal leveled logger. Benches print structured tables themselves; the
+// logger is for progress/diagnostic lines from library internals.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace fairdms::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; defaults to kWarn so library internals stay
+/// quiet under tests and benches unless explicitly raised.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+namespace detail {
+void log_emit(LogLevel level, std::string_view message);
+}
+
+template <typename... Parts>
+void log(LogLevel level, const Parts&... parts) {
+  if (level < log_level()) return;
+  std::ostringstream oss;
+  (oss << ... << parts);
+  detail::log_emit(level, oss.str());
+}
+
+template <typename... Parts>
+void log_debug(const Parts&... parts) {
+  log(LogLevel::kDebug, parts...);
+}
+template <typename... Parts>
+void log_info(const Parts&... parts) {
+  log(LogLevel::kInfo, parts...);
+}
+template <typename... Parts>
+void log_warn(const Parts&... parts) {
+  log(LogLevel::kWarn, parts...);
+}
+template <typename... Parts>
+void log_error(const Parts&... parts) {
+  log(LogLevel::kError, parts...);
+}
+
+}  // namespace fairdms::util

@@ -1,0 +1,146 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in fairDMS takes an explicit seed and derives an
+// independent stream via Rng::fork(), so experiments are reproducible bit-for-
+// bit regardless of thread count (each parallel work item forks its own
+// stream from a stable key).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace fairdms::util {
+
+/// xoshiro256** engine seeded through SplitMix64. Satisfies
+/// UniformRandomBitGenerator so it also works with <random> adaptors.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 expansion: decorrelates nearby seeds.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+    has_gauss_ = false;
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Independent child stream for work item `key`. Deterministic in (parent
+  /// state at fork time is NOT consumed): forking N children with distinct
+  /// keys yields N decorrelated streams regardless of fork order.
+  [[nodiscard]] Rng fork(std::uint64_t key) const {
+    Rng child(state_[0] ^ (key * 0xD1342543DE82EF95ull) ^ state_[3]);
+    return child;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_index(std::uint64_t n) {
+    // Lemire's multiply-shift rejection method (unbiased).
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Standard normal via Marsaglia polar method (cached pair).
+  double gaussian() {
+    if (has_gauss_) {
+      has_gauss_ = false;
+      return gauss_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double k = std::sqrt(-2.0 * std::log(s) / s);
+    gauss_ = v * k;
+    has_gauss_ = true;
+    return u * k;
+  }
+
+  double gaussian(double mean, double stddev) {
+    return mean + stddev * gaussian();
+  }
+
+  /// Poisson sample; inversion for small lambda, normal approx for large.
+  std::uint64_t poisson(double lambda) {
+    if (lambda <= 0.0) return 0;
+    if (lambda < 30.0) {
+      const double limit = std::exp(-lambda);
+      double prod = uniform();
+      std::uint64_t n = 0;
+      while (prod > limit) {
+        prod *= uniform();
+        ++n;
+      }
+      return n;
+    }
+    const double x = gaussian(lambda, std::sqrt(lambda));
+    return x <= 0.0 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename Container>
+  void shuffle(Container& c) {
+    const auto n = c.size();
+    for (std::size_t i = n; i > 1; --i) {
+      const auto j = uniform_index(i);
+      using std::swap;
+      swap(c[i - 1], c[j]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  double gauss_ = 0.0;
+  bool has_gauss_ = false;
+};
+
+}  // namespace fairdms::util

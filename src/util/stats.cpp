@@ -1,0 +1,81 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fairdms::util {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double mean(std::span<const float> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (float x : xs) sum += static_cast<double>(x);
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(xs.size()));
+}
+
+double percentile(std::span<const double> xs, double p) {
+  FAIRDMS_CHECK(!xs.empty(), "percentile of empty span");
+  FAIRDMS_CHECK(p >= 0.0 && p <= 100.0, "percentile p out of range: ", p);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  FAIRDMS_CHECK(xs.size() == ys.size(), "pearson size mismatch");
+  if (xs.size() < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> histogram_pdf(std::span<const double> xs, double lo,
+                                  double hi, std::size_t bins) {
+  FAIRDMS_CHECK(bins > 0, "histogram with zero bins");
+  FAIRDMS_CHECK(hi > lo, "histogram range must be non-empty");
+  std::vector<double> pdf(bins, 0.0);
+  if (xs.empty()) return pdf;
+  const double scale = static_cast<double>(bins) / (hi - lo);
+  for (double x : xs) {
+    auto bin = static_cast<std::ptrdiff_t>((x - lo) * scale);
+    bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                     static_cast<std::ptrdiff_t>(bins) - 1);
+    pdf[static_cast<std::size_t>(bin)] += 1.0;
+  }
+  for (double& v : pdf) v /= static_cast<double>(xs.size());
+  return pdf;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace fairdms::util

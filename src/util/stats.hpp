@@ -1,0 +1,50 @@
+// Small statistics helpers shared by the evaluation harness.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fairdms::util {
+
+/// Arithmetic mean; 0 for empty input.
+double mean(std::span<const double> xs);
+double mean(std::span<const float> xs);
+
+/// Population standard deviation; 0 for fewer than two samples.
+double stddev(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. Input need not be sorted.
+double percentile(std::span<const double> xs, double p);
+
+/// Pearson correlation coefficient; 0 when either side is constant.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Normalized histogram over [lo, hi) with `bins` buckets (sums to 1 when any
+/// sample falls inside the range; out-of-range samples are clamped).
+std::vector<double> histogram_pdf(std::span<const double> xs, double lo,
+                                  double hi, std::size_t bins);
+
+/// Running mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+  [[nodiscard]] double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace fairdms::util

@@ -1,0 +1,78 @@
+// Fixed-size thread pool with chunked parallel_for.
+//
+// This is the single parallel substrate for fairDMS: matmul/conv kernels,
+// k-means assignment, Voigt labeling, and embedding inference all decompose
+// into parallel_for over index ranges (the OpenMP "parallel for" idiom,
+// expressed with std::thread so thread count and chunking stay under library
+// control and results stay deterministic).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fairdms::util {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue an arbitrary task. Prefer parallel_for for data parallelism.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  /// Run body(begin, end) over [0, n) split into ~3x-oversubscribed chunks,
+  /// blocking until complete. body is invoked concurrently; it must handle
+  /// its own synchronization for shared state. Runs inline when n is small
+  /// or the pool has a single worker.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& body,
+                    std::size_t min_grain = 1);
+
+  /// Like parallel_for but body also receives a dense chunk index, so callers
+  /// can maintain per-chunk scratch (e.g. forked RNG streams, partial sums).
+  void parallel_for_chunked(
+      std::size_t n,
+      const std::function<void(std::size_t chunk, std::size_t begin,
+                               std::size_t end)>& body,
+      std::size_t min_grain = 1);
+
+  /// Process-wide pool (lazily constructed, sized to hardware concurrency).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+  /// Pop and execute one queued task if available. Returns false when the
+  /// queue was empty. Used by parallel_for waiters to help instead of block.
+  bool try_run_one();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Convenience wrapper over the global pool.
+inline void parallel_for(std::size_t n,
+                         const std::function<void(std::size_t, std::size_t)>& body,
+                         std::size_t min_grain = 1) {
+  ThreadPool::global().parallel_for(n, body, min_grain);
+}
+
+}  // namespace fairdms::util

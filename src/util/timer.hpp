@@ -1,0 +1,41 @@
+// Wall-clock timing helpers used throughout the benchmark harness.
+#pragma once
+
+#include <chrono>
+
+namespace fairdms::util {
+
+/// Monotonic stopwatch. Construction starts it.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+  [[nodiscard]] double micros() const { return seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates elapsed time into a double, RAII-style. Useful for attributing
+/// time to phases (e.g. DataLoader I/O-stall accounting).
+class ScopedAccumulator {
+ public:
+  explicit ScopedAccumulator(double& sink) : sink_(sink) {}
+  ~ScopedAccumulator() { sink_ += timer_.seconds(); }
+
+  ScopedAccumulator(const ScopedAccumulator&) = delete;
+  ScopedAccumulator& operator=(const ScopedAccumulator&) = delete;
+
+ private:
+  double& sink_;
+  WallTimer timer_;
+};
+
+}  // namespace fairdms::util

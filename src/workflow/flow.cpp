@@ -1,0 +1,109 @@
+#include "workflow/flow.hpp"
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace fairdms::workflow {
+
+const TaskReport* FlowReport::find(const std::string& name) const {
+  for (const TaskReport& t : tasks) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+Flow& Flow::add_task(const std::string& task_name, std::function<void()> body,
+                     std::vector<std::string> dependencies) {
+  FAIRDMS_CHECK(body != nullptr, "Flow task '", task_name, "' has no body");
+  for (const TaskDef& t : tasks_) {
+    FAIRDMS_CHECK(t.name != task_name, "duplicate flow task '", task_name,
+                  "'");
+  }
+  tasks_.push_back(TaskDef{task_name, std::move(body),
+                           std::move(dependencies)});
+  return *this;
+}
+
+FlowReport Flow::run() {
+  const std::size_t n = tasks_.size();
+  // Resolve dependency names to indices; unknown names abort.
+  std::map<std::string, std::size_t> index;
+  for (std::size_t i = 0; i < n; ++i) index[tasks_[i].name] = i;
+  std::vector<std::vector<std::size_t>> dependents(n);
+  std::vector<std::size_t> missing(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const std::string& dep : tasks_[i].deps) {
+      auto it = index.find(dep);
+      FAIRDMS_CHECK(it != index.end(), "flow '", name_, "': task '",
+                    tasks_[i].name, "' depends on unknown task '", dep, "'");
+      dependents[it->second].push_back(i);
+      ++missing[i];
+    }
+  }
+
+  // Kahn cycle check before launching anything.
+  {
+    std::vector<std::size_t> degree = missing;
+    std::vector<std::size_t> queue;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (degree[i] == 0) queue.push_back(i);
+    }
+    std::size_t seen = 0;
+    while (!queue.empty()) {
+      const std::size_t t = queue.back();
+      queue.pop_back();
+      ++seen;
+      for (std::size_t d : dependents[t]) {
+        if (--degree[d] == 0) queue.push_back(d);
+      }
+    }
+    FAIRDMS_CHECK(seen == n, "flow '", name_, "' contains a cycle");
+  }
+
+  FlowReport report;
+  report.tasks.reserve(n);
+  util::WallTimer flow_timer;
+  std::mutex mutex;
+  std::condition_variable cv_done;
+  std::size_t completed = 0;
+  auto& pool = util::ThreadPool::global();
+
+  // Submit a task once its dependency count reaches zero.
+  std::function<void(std::size_t)> launch = [&](std::size_t i) {
+    pool.submit([&, i] {
+      const double start = flow_timer.seconds();
+      tasks_[i].body();
+      const double end = flow_timer.seconds();
+      std::vector<std::size_t> ready;
+      {
+        std::lock_guard lock(mutex);
+        report.tasks.push_back(TaskReport{tasks_[i].name, start, end});
+        ++completed;
+        for (std::size_t d : dependents[i]) {
+          if (--missing[d] == 0) ready.push_back(d);
+        }
+      }
+      for (std::size_t d : ready) launch(d);
+      cv_done.notify_all();
+    });
+  };
+
+  {
+    std::vector<std::size_t> roots;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (missing[i] == 0) roots.push_back(i);
+    }
+    for (std::size_t i : roots) launch(i);
+  }
+
+  std::unique_lock lock(mutex);
+  cv_done.wait(lock, [&] { return completed == n; });
+  report.total_seconds = flow_timer.seconds();
+  return report;
+}
+
+}  // namespace fairdms::workflow

@@ -1,0 +1,52 @@
+// Globus-Flows analog: a named DAG of tasks executed with maximum
+// parallelism on the global thread pool. The paper's end-to-end workflow
+// (§III-C) is a flow of funcX function invocations and Globus transfers;
+// Fig. 15's end-to-end time is the critical path of that DAG plus compute.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fairdms::workflow {
+
+struct TaskReport {
+  std::string name;
+  double start_seconds = 0.0;  ///< relative to flow start
+  double end_seconds = 0.0;
+  [[nodiscard]] double duration() const { return end_seconds - start_seconds; }
+};
+
+struct FlowReport {
+  double total_seconds = 0.0;
+  std::vector<TaskReport> tasks;  ///< completion order
+  [[nodiscard]] const TaskReport* find(const std::string& name) const;
+};
+
+class Flow {
+ public:
+  explicit Flow(std::string name) : name_(std::move(name)) {}
+
+  /// Adds a task with dependencies (all must be added before run()).
+  Flow& add_task(const std::string& task_name, std::function<void()> body,
+                 std::vector<std::string> dependencies = {});
+
+  [[nodiscard]] const std::string& flow_name() const { return name_; }
+  [[nodiscard]] std::size_t task_count() const { return tasks_.size(); }
+
+  /// Validates the DAG (unknown deps / cycles abort), runs every task as
+  /// soon as its dependencies finish, and returns per-task timings.
+  FlowReport run();
+
+ private:
+  struct TaskDef {
+    std::string name;
+    std::function<void()> body;
+    std::vector<std::string> deps;
+  };
+  std::string name_;
+  std::vector<TaskDef> tasks_;
+};
+
+}  // namespace fairdms::workflow

@@ -1,0 +1,68 @@
+#include "workflow/funcx.hpp"
+
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace fairdms::workflow {
+
+void FuncXRegistry::add_endpoint(const std::string& endpoint,
+                                 std::size_t capacity) {
+  FAIRDMS_CHECK(capacity > 0, "endpoint '", endpoint, "' needs capacity > 0");
+  std::lock_guard lock(mutex_);
+  FAIRDMS_CHECK(endpoints_.count(endpoint) == 0, "endpoint '", endpoint,
+                "' already exists");
+  endpoints_[endpoint].capacity = capacity;
+}
+
+void FuncXRegistry::register_function(const std::string& name,
+                                      const std::string& endpoint,
+                                      Function fn) {
+  FAIRDMS_CHECK(fn != nullptr, "function '", name, "' has no body");
+  std::lock_guard lock(mutex_);
+  FAIRDMS_CHECK(endpoints_.count(endpoint) > 0, "unknown endpoint '",
+                endpoint, "'");
+  FAIRDMS_CHECK(functions_.count(name) == 0, "function '", name,
+                "' already registered");
+  functions_[name] = Registered{endpoint, std::move(fn)};
+}
+
+Payload FuncXRegistry::invoke(const std::string& name, const Payload& arg) {
+  Function fn;
+  std::string endpoint_name;
+  {
+    std::unique_lock lock(mutex_);
+    auto it = functions_.find(name);
+    FAIRDMS_CHECK(it != functions_.end(), "unknown function '", name, "'");
+    endpoint_name = it->second.endpoint;
+    fn = it->second.fn;
+    Endpoint& ep = endpoints_.at(endpoint_name);
+    cv_slot_.wait(lock, [&] { return ep.in_use < ep.capacity; });
+    ++ep.in_use;
+  }
+  util::WallTimer timer;
+  Payload result = fn(arg);
+  const double elapsed = timer.seconds();
+  {
+    std::lock_guard lock(mutex_);
+    Endpoint& ep = endpoints_.at(endpoint_name);
+    --ep.in_use;
+    ++ep.stats.invocations;
+    ep.stats.busy_seconds += elapsed;
+  }
+  cv_slot_.notify_one();
+  return result;
+}
+
+bool FuncXRegistry::has_function(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  return functions_.count(name) > 0;
+}
+
+EndpointStats FuncXRegistry::stats(const std::string& endpoint) const {
+  std::lock_guard lock(mutex_);
+  auto it = endpoints_.find(endpoint);
+  FAIRDMS_CHECK(it != endpoints_.end(), "unknown endpoint '", endpoint, "'");
+  return it->second.stats;
+}
+
+}  // namespace fairdms::workflow

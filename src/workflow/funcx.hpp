@@ -1,0 +1,61 @@
+// funcX analog: a registry of named functions bound to named endpoints with
+// bounded concurrency. The paper uses funcX as the serverless layer that
+// executes user-plane and system-plane functions on the right resources; we
+// reproduce the scheduling semantics (per-endpoint capacity, queuing) and
+// the accounting (invocations, busy time).
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "store/document.hpp"
+
+namespace fairdms::workflow {
+
+/// Payloads are document values — the same JSON-like type the store uses.
+using Payload = store::Value;
+using Function = std::function<Payload(const Payload&)>;
+
+struct EndpointStats {
+  std::size_t invocations = 0;
+  double busy_seconds = 0.0;
+};
+
+class FuncXRegistry {
+ public:
+  /// Declares an endpoint with a concurrency cap (e.g. "gpu-cluster": 1,
+  /// "edge": 4). Registering twice aborts.
+  void add_endpoint(const std::string& endpoint, std::size_t capacity);
+
+  /// Registers `fn` under `name` on `endpoint`.
+  void register_function(const std::string& name, const std::string& endpoint,
+                         Function fn);
+
+  /// Invokes synchronously, waiting for endpoint capacity first (the funcX
+  /// queue). Thread-safe; concurrent callers share endpoint slots.
+  Payload invoke(const std::string& name, const Payload& arg);
+
+  [[nodiscard]] bool has_function(const std::string& name) const;
+  [[nodiscard]] EndpointStats stats(const std::string& endpoint) const;
+
+ private:
+  struct Endpoint {
+    std::size_t capacity = 1;
+    std::size_t in_use = 0;
+    EndpointStats stats;
+  };
+  struct Registered {
+    std::string endpoint;
+    Function fn;
+  };
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_slot_;
+  std::map<std::string, Endpoint> endpoints_;
+  std::map<std::string, Registered> functions_;
+};
+
+}  // namespace fairdms::workflow

@@ -1,0 +1,39 @@
+#include "workflow/transfer.hpp"
+
+#include "util/check.hpp"
+
+namespace fairdms::workflow {
+
+void TransferService::set_link(const std::string& src, const std::string& dst,
+                               LinkSpec spec) {
+  FAIRDMS_CHECK(spec.bandwidth_bytes_per_s > 0.0,
+                "link needs positive bandwidth");
+  std::lock_guard lock(mutex_);
+  links_[{src, dst}] = spec;
+}
+
+double TransferService::transfer(const std::string& src,
+                                 const std::string& dst,
+                                 std::uint64_t bytes) {
+  std::lock_guard lock(mutex_);
+  auto it = links_.find({src, dst});
+  FAIRDMS_CHECK(it != links_.end(), "no link ", src, " -> ", dst);
+  const LinkSpec& spec = it->second;
+  const double seconds =
+      spec.latency_seconds +
+      static_cast<double>(bytes) / spec.bandwidth_bytes_per_s;
+  TransferStats& s = stats_[{src, dst}];
+  ++s.transfers;
+  s.bytes += bytes;
+  s.seconds += seconds;
+  return seconds;
+}
+
+TransferStats TransferService::stats(const std::string& src,
+                                     const std::string& dst) const {
+  std::lock_guard lock(mutex_);
+  auto it = stats_.find({src, dst});
+  return it == stats_.end() ? TransferStats{} : it->second;
+}
+
+}  // namespace fairdms::workflow

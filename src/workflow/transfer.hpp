@@ -1,0 +1,46 @@
+// Globus-Transfer analog: byte-accurate timing of data movement between
+// named endpoints over parametric links. Transfers return *simulated*
+// seconds (no real sleep — Fig. 15's end-to-end accounting adds them to
+// measured compute), and the service records totals per endpoint pair.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace fairdms::workflow {
+
+struct LinkSpec {
+  double latency_seconds = 0.05;       ///< per-transfer setup (auth, handshake)
+  double bandwidth_bytes_per_s = 1e9;  ///< sustained WAN throughput
+};
+
+struct TransferStats {
+  std::size_t transfers = 0;
+  std::uint64_t bytes = 0;
+  double seconds = 0.0;
+};
+
+class TransferService {
+ public:
+  /// Defines (or redefines) the link `src` -> `dst`. Links are directional.
+  void set_link(const std::string& src, const std::string& dst,
+                LinkSpec spec);
+
+  /// Simulated wall time to move `bytes` from src to dst. Aborts on an
+  /// undefined link.
+  double transfer(const std::string& src, const std::string& dst,
+                  std::uint64_t bytes);
+
+  [[nodiscard]] TransferStats stats(const std::string& src,
+                                    const std::string& dst) const;
+
+ private:
+  using Key = std::pair<std::string, std::string>;
+  mutable std::mutex mutex_;
+  std::map<Key, LinkSpec> links_;
+  std::map<Key, TransferStats> stats_;
+};
+
+}  // namespace fairdms::workflow

@@ -1,0 +1,186 @@
+// Clustering tests: k-means recovery on separable blobs, WSS monotonicity,
+// elbow knee detection, PDF properties, fuzzy-membership invariants and
+// certainty behaviour.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "cluster/fuzzy.hpp"
+#include "cluster/kmeans.hpp"
+#include "util/rng.hpp"
+
+namespace fairdms {
+namespace {
+
+using cluster::KMeansConfig;
+using cluster::KMeansModel;
+using tensor::Tensor;
+
+/// n points around each of k well-separated centers in d dims.
+Tensor blobs(std::size_t k, std::size_t n_per, std::size_t d, double spread,
+             util::Rng& rng, std::vector<std::size_t>* truth = nullptr) {
+  Tensor xs({k * n_per, d});
+  for (std::size_t c = 0; c < k; ++c) {
+    std::vector<double> center(d);
+    for (auto& v : center) v = rng.uniform(-1.0, 1.0) * 20.0;
+    for (std::size_t i = 0; i < n_per; ++i) {
+      const std::size_t row = c * n_per + i;
+      for (std::size_t j = 0; j < d; ++j) {
+        xs.at(row, j) =
+            static_cast<float>(center[j] + rng.gaussian(0.0, spread));
+      }
+      if (truth != nullptr) truth->push_back(c);
+    }
+  }
+  return xs;
+}
+
+TEST(KMeans, RecoversSeparableBlobs) {
+  util::Rng rng(1);
+  std::vector<std::size_t> truth;
+  const Tensor xs = blobs(4, 50, 3, 0.3, rng, &truth);
+  KMeansConfig config;
+  config.k = 4;
+  config.seed = 2;
+  const KMeansModel model = cluster::kmeans_fit(xs, config);
+
+  // Every ground-truth blob must map to exactly one k-means cluster.
+  const auto assign = model.assign_batch(xs);
+  for (std::size_t c = 0; c < 4; ++c) {
+    std::set<std::size_t> mapped;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      if (truth[i] == c) mapped.insert(assign[i]);
+    }
+    EXPECT_EQ(mapped.size(), 1u) << "blob " << c << " split across clusters";
+  }
+}
+
+TEST(KMeans, WssDecreasesWithK) {
+  util::Rng rng(3);
+  const Tensor xs = blobs(5, 40, 2, 1.0, rng);
+  double prev = 1e300;
+  for (std::size_t k = 1; k <= 8; k += 2) {
+    KMeansConfig config;
+    config.k = k;
+    config.seed = 5;
+    const double wss = cluster::kmeans_fit(xs, config).wss(xs);
+    EXPECT_LE(wss, prev * 1.02) << "k=" << k;  // small slack for local optima
+    prev = wss;
+  }
+}
+
+TEST(KMeans, AssignMatchesDistances) {
+  util::Rng rng(4);
+  const Tensor xs = blobs(3, 30, 4, 0.5, rng);
+  KMeansConfig config;
+  config.k = 3;
+  const KMeansModel model = cluster::kmeans_fit(xs, config);
+  const float* px = xs.data();
+  for (std::size_t i = 0; i < 10; ++i) {
+    const std::span<const float> x(px + i * 4, 4);
+    const auto d = model.distances(x);
+    const std::size_t a = model.assign(x);
+    EXPECT_EQ(a, static_cast<std::size_t>(
+                     std::min_element(d.begin(), d.end()) - d.begin()));
+  }
+}
+
+TEST(KMeans, ClusterPdfSumsToOneAndMatchesBlobShares) {
+  util::Rng rng(5);
+  const Tensor xs = blobs(2, 100, 2, 0.2, rng);
+  KMeansConfig config;
+  config.k = 2;
+  const KMeansModel model = cluster::kmeans_fit(xs, config);
+  const auto pdf = model.cluster_pdf(xs);
+  EXPECT_EQ(pdf.size(), 2u);
+  EXPECT_NEAR(pdf[0] + pdf[1], 1.0, 1e-12);
+  EXPECT_NEAR(pdf[0], 0.5, 0.02);  // equal-sized blobs
+}
+
+TEST(KMeans, SingletonClustersAndEmptyReseeding) {
+  // k == n: every point is its own centroid, WSS == 0.
+  util::Rng rng(6);
+  const Tensor xs = blobs(1, 6, 2, 3.0, rng);
+  KMeansConfig config;
+  config.k = 6;
+  const KMeansModel model = cluster::kmeans_fit(xs, config);
+  EXPECT_NEAR(model.wss(xs), 0.0, 1e-6);
+}
+
+TEST(Elbow, FindsTrueBlobCount) {
+  util::Rng rng(7);
+  const Tensor xs = blobs(5, 60, 3, 0.25, rng);
+  const auto result = cluster::elbow_k(xs, 2, 10, 11);
+  EXPECT_EQ(result.wss_curve.size(), 9u);
+  // The knee should land on (or right next to) the true count of 5.
+  EXPECT_GE(result.best_k, 4u);
+  EXPECT_LE(result.best_k, 6u);
+}
+
+TEST(Fuzzy, MembershipsSumToOne) {
+  util::Rng rng(8);
+  const Tensor xs = blobs(3, 20, 2, 0.5, rng);
+  KMeansConfig config;
+  config.k = 3;
+  const KMeansModel model = cluster::kmeans_fit(xs, config);
+  const float* px = xs.data();
+  for (std::size_t i = 0; i < 20; ++i) {
+    const auto u = cluster::fuzzy_memberships(model, {px + i * 2, 2});
+    double sum = 0.0;
+    for (double v : u) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(Fuzzy, ExactCentroidHitHasFullMembership) {
+  const Tensor centroids = Tensor::from_vector({2, 2}, {0, 0, 10, 10});
+  const KMeansModel model(centroids);
+  const std::vector<float> x{10.0f, 10.0f};
+  const auto u = cluster::fuzzy_memberships(model, x);
+  EXPECT_DOUBLE_EQ(u[1], 1.0);
+  EXPECT_DOUBLE_EQ(u[0], 0.0);
+}
+
+TEST(Fuzzy, CertaintyHighForTightBlobsLowForDiffuseData) {
+  util::Rng rng(9);
+  const Tensor tight = blobs(3, 50, 2, 0.1, rng);
+  KMeansConfig config;
+  config.k = 3;
+  const KMeansModel tight_model = cluster::kmeans_fit(tight, config);
+  EXPECT_GT(cluster::dataset_certainty(tight_model, tight), 0.95);
+
+  // Same model applied to data halfway between its centroids: ambiguous.
+  const Tensor& c = tight_model.centroids();
+  Tensor midpoints({40, 2});
+  for (std::size_t i = 0; i < 40; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      midpoints.at(i, j) =
+          0.5f * (c.at(0, j) + c.at(1, j)) +
+          static_cast<float>(rng.gaussian(0.0, 0.05));
+    }
+  }
+  EXPECT_LT(cluster::dataset_certainty(tight_model, midpoints), 0.5);
+}
+
+TEST(Fuzzy, ConfidenceThresholdIsRespected) {
+  util::Rng rng(10);
+  const Tensor xs = blobs(2, 40, 2, 0.3, rng);
+  KMeansConfig config;
+  config.k = 2;
+  const KMeansModel model = cluster::kmeans_fit(xs, config);
+  cluster::FuzzyConfig strict;
+  strict.confidence_threshold = 0.999;
+  cluster::FuzzyConfig lax;
+  lax.confidence_threshold = 0.5;
+  EXPECT_LE(cluster::dataset_certainty(model, xs, strict),
+            cluster::dataset_certainty(model, xs, lax));
+}
+
+}  // namespace
+}  // namespace fairdms

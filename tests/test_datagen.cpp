@@ -1,0 +1,236 @@
+// Tests for the synthetic data generators: pseudo-Voigt profile identities,
+// Bragg patch/label consistency, HEDM timeline drift + deformation events,
+// CookieBox density structure, tomography phantom statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datagen/bragg.hpp"
+#include "datagen/cookiebox.hpp"
+#include "datagen/pseudo_voigt.hpp"
+#include "datagen/tomography.hpp"
+#include "util/rng.hpp"
+
+namespace fairdms {
+namespace {
+
+using datagen::PeakParams;
+
+TEST(PseudoVoigt, PeakValueAtCenterIsAmplitudePlusBackground) {
+  PeakParams p;
+  p.center_x = 7.3;
+  p.center_y = 6.8;
+  p.amplitude = 2.0;
+  p.background = 0.25;
+  EXPECT_NEAR(datagen::pseudo_voigt(p, 7.3, 6.8), 2.25, 1e-12);
+}
+
+TEST(PseudoVoigt, PureGaussianAndPureLorentzianTails) {
+  PeakParams p;
+  p.center_x = 0.0;
+  p.center_y = 0.0;
+  p.sigma_major = 1.0;
+  p.sigma_minor = 1.0;
+  p.amplitude = 1.0;
+  p.eta = 0.0;  // pure Gaussian
+  const double gauss_far = datagen::pseudo_voigt(p, 5.0, 0.0);
+  p.eta = 1.0;  // pure Lorentzian
+  const double lorentz_far = datagen::pseudo_voigt(p, 5.0, 0.0);
+  EXPECT_NEAR(gauss_far, std::exp(-12.5), 1e-9);
+  EXPECT_NEAR(lorentz_far, 1.0 / 26.0, 1e-9);
+  EXPECT_GT(lorentz_far, gauss_far);  // heavier tails
+}
+
+TEST(PseudoVoigt, RotationMovesTheEllipse) {
+  PeakParams p;
+  p.center_x = 7.0;
+  p.center_y = 7.0;
+  p.sigma_major = 3.0;
+  p.sigma_minor = 1.0;
+  p.theta = 0.0;
+  // Along x (major axis): slow decay. Along y (minor): fast decay.
+  const double along_major = datagen::pseudo_voigt(p, 10.0, 7.0);
+  const double along_minor = datagen::pseudo_voigt(p, 7.0, 10.0);
+  EXPECT_GT(along_major, along_minor);
+  // After rotating 90 degrees the roles swap.
+  p.theta = M_PI / 2.0;
+  const double along_major_rot = datagen::pseudo_voigt(p, 7.0, 10.0);
+  const double along_minor_rot = datagen::pseudo_voigt(p, 10.0, 7.0);
+  EXPECT_GT(along_major_rot, along_minor_rot);
+}
+
+TEST(PseudoVoigt, CentroidOfRenderedPeakNearTrueCenter) {
+  PeakParams p;
+  p.center_x = 8.4;
+  p.center_y = 5.9;
+  p.sigma_major = 1.8;
+  p.sigma_minor = 1.6;
+  p.amplitude = 1.0;
+  std::vector<float> patch(15 * 15);
+  datagen::render_peak(p, 15, patch);
+  double cx = 0.0, cy = 0.0;
+  datagen::intensity_centroid(patch, 15, cx, cy);
+  EXPECT_NEAR(cx, p.center_x, 0.5);
+  EXPECT_NEAR(cy, p.center_y, 0.5);
+}
+
+TEST(Bragg, BatchsetShapesAndLabelRange) {
+  util::Rng rng(1);
+  datagen::BraggRegime regime;
+  const nn::Batchset data =
+      datagen::make_bragg_batchset(regime, {}, 32, rng);
+  ASSERT_EQ(data.xs.shape(), (std::vector<std::size_t>{32, 1, 15, 15}));
+  ASSERT_EQ(data.ys.shape(), (std::vector<std::size_t>{32, 2}));
+  // Labels are offsets from patch center in units of the patch size; jitter
+  // of 2.5px over 15px keeps |label| < 0.5.
+  for (std::size_t i = 0; i < data.ys.numel(); ++i) {
+    EXPECT_LT(std::fabs(data.ys[i]), 0.5f);
+  }
+}
+
+TEST(Bragg, LabelMatchesGenerativeCenter) {
+  util::Rng rng(2);
+  datagen::BraggRegime regime;
+  regime.noise_sd = 0.0;  // noiseless: centroid must sit on the label
+  const nn::Batchset data =
+      datagen::make_bragg_batchset(regime, {}, 8, rng);
+  for (std::size_t i = 0; i < 8; ++i) {
+    double cx = 0.0, cy = 0.0;
+    datagen::intensity_centroid(
+        {data.xs.data() + i * 225, 225}, 15, cx, cy);
+    const double label_x = data.ys.at(i, 0) * 15.0 + 7.0;
+    const double label_y = data.ys.at(i, 1) * 15.0 + 7.0;
+    EXPECT_NEAR(cx, label_x, 0.8) << "sample " << i;
+    EXPECT_NEAR(cy, label_y, 0.8) << "sample " << i;
+  }
+}
+
+TEST(Bragg, PixelErrorHelper) {
+  nn::Tensor pred({1, 2});
+  nn::Tensor truth({1, 2});
+  pred.at(0, 0) = 0.1f;  // 1.5 px off in x at patch size 15
+  const double err = datagen::bragg_pixel_error(pred, truth, 15, 0);
+  EXPECT_NEAR(err, 1.5, 1e-5);
+}
+
+TEST(HedmTimeline, DriftIsMonotoneBeforeDeformation) {
+  datagen::HedmTimelineConfig config;
+  config.n_scans = 50;
+  config.deformation_scans = {};
+  datagen::HedmTimeline timeline(config);
+  double prev_sigma = 0.0;
+  for (std::size_t scan = 0; scan < 50; scan += 10) {
+    const auto regime = timeline.regime_at(scan);
+    EXPECT_GT(regime.sigma_major_mean, prev_sigma);
+    prev_sigma = regime.sigma_major_mean;
+  }
+}
+
+TEST(HedmTimeline, DeformationEventJumpsRegime) {
+  datagen::HedmTimelineConfig config;
+  config.n_scans = 40;
+  config.deformation_scans = {20};
+  datagen::HedmTimeline timeline(config);
+  const auto before = timeline.regime_at(19);
+  const auto after = timeline.regime_at(20);
+  // The jump dwarfs one scan of drift.
+  EXPECT_GT(after.sigma_major_mean / before.sigma_major_mean, 1.2);
+  EXPECT_GT(after.eta_mean, before.eta_mean + 0.1);
+}
+
+TEST(HedmTimeline, DatasetDeterministicInSeedAndScan) {
+  datagen::HedmTimelineConfig config;
+  config.n_scans = 10;
+  datagen::HedmTimeline timeline(config);
+  const auto a = timeline.dataset_at(3, 16, 777);
+  const auto b = timeline.dataset_at(3, 16, 777);
+  const auto c = timeline.dataset_at(4, 16, 777);
+  for (std::size_t i = 0; i < a.xs.numel(); ++i) {
+    ASSERT_EQ(a.xs[i], b.xs[i]);
+  }
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.xs.numel(); ++i) {
+    if (a.xs[i] != c.xs[i]) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(CookieBox, ShapesAndLabelRowsAreDensities) {
+  util::Rng rng(3);
+  datagen::CookieBoxConfig config;  // 32 bins, 16 channels x 2 rows
+  const auto data =
+      datagen::make_cookiebox_batchset({}, config, 4, rng);
+  ASSERT_EQ(data.xs.shape(), (std::vector<std::size_t>{4, 1, 32, 32}));
+  ASSERT_EQ(data.ys.shape(), (std::vector<std::size_t>{4, 1, 32, 32}));
+  // Every label row is a normalized density.
+  for (std::size_t row = 0; row < 32; ++row) {
+    double sum = 0.0;
+    for (std::size_t b = 0; b < 32; ++b) {
+      sum += static_cast<double>(data.ys[row * 32 + b]);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5) << "row " << row;
+  }
+}
+
+TEST(CookieBox, HistogramTracksDensityInExpectation) {
+  util::Rng rng(4);
+  datagen::CookieBoxConfig config;
+  config.counts_per_row = 5000.0;  // high dose: counts ~ density
+  const auto data = datagen::make_cookiebox_batchset({}, config, 2, rng);
+  double err = 0.0;
+  for (std::size_t i = 0; i < data.xs.numel(); ++i) {
+    err += std::fabs(static_cast<double>(data.xs[i]) - data.ys[i]);
+  }
+  err /= static_cast<double>(data.xs.numel());
+  EXPECT_LT(err, 0.01);
+}
+
+TEST(CookieBox, TimelineShiftsPhotoline) {
+  datagen::CookieBoxTimelineConfig config;
+  config.n_steps = 20;
+  datagen::CookieBoxTimeline timeline(config);
+  EXPECT_GT(timeline.regime_at(19).photoline_center,
+            timeline.regime_at(0).photoline_center);
+}
+
+TEST(Tomography, PhantomInUnitRangeAndNonTrivial) {
+  util::Rng rng(5);
+  datagen::TomoConfig config;
+  config.size = 64;
+  std::vector<float> img(64 * 64);
+  datagen::render_phantom(config, rng, img);
+  float lo = 1e9f, hi = -1e9f;
+  for (float v : img) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GE(lo, 0.0f);
+  EXPECT_LE(hi, 1.0f);
+  EXPECT_GT(hi, 0.1f);  // something was drawn
+}
+
+TEST(Tomography, NoisyFrameApproachesCleanAtHighDose) {
+  util::Rng rng(6);
+  datagen::TomoConfig low;
+  low.size = 48;
+  low.dose = 4.0;
+  datagen::TomoConfig high = low;
+  high.dose = 400.0;
+  const auto noisy = datagen::make_tomo_batchset(low, 2, rng);
+  const auto clean = datagen::make_tomo_batchset(high, 2, rng);
+  auto mse = [](const nn::Batchset& b) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < b.xs.numel(); ++i) {
+      const double d = static_cast<double>(b.xs[i]) - b.ys[i];
+      sum += d * d;
+    }
+    return sum / static_cast<double>(b.xs.numel());
+  };
+  EXPECT_LT(mse(clean), mse(noisy));
+}
+
+}  // namespace
+}  // namespace fairdms

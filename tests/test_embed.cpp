@@ -1,0 +1,200 @@
+// Embedding tests: augmentation identities, shape/contract checks for all
+// three embedders, objective decrease under training, BYOL EMA dynamics, and
+// regime separation in embedding space (the property fairDS depends on).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datagen/bragg.hpp"
+#include "embed/augment.hpp"
+#include "embed/autoencoder.hpp"
+#include "embed/byol.hpp"
+#include "embed/contrastive.hpp"
+#include "embed/embedder.hpp"
+#include "util/rng.hpp"
+
+namespace fairdms {
+namespace {
+
+using tensor::Tensor;
+
+std::vector<float> ramp_image(std::size_t size) {
+  std::vector<float> img(size * size);
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    img[i] = static_cast<float>(i);
+  }
+  return img;
+}
+
+TEST(Augment, FourQuarterTurnsAreIdentity) {
+  const auto img = ramp_image(7);
+  const auto out = embed::rotate90(img, 7, 4);
+  EXPECT_EQ(out, img);
+}
+
+TEST(Augment, RotationComposition) {
+  const auto img = ramp_image(6);
+  const auto once_twice =
+      embed::rotate90(embed::rotate90(img, 6, 1), 6, 1);
+  EXPECT_EQ(once_twice, embed::rotate90(img, 6, 2));
+  // Negative turns wrap.
+  EXPECT_EQ(embed::rotate90(img, 6, -1), embed::rotate90(img, 6, 3));
+}
+
+TEST(Augment, MirrorTwiceIsIdentity) {
+  const auto img = ramp_image(5);
+  EXPECT_EQ(embed::mirror_horizontal(embed::mirror_horizontal(img, 5), 5),
+            img);
+}
+
+TEST(Augment, CircularShiftRoundTripsAndPreservesMass) {
+  const auto img = ramp_image(8);
+  const auto shifted = embed::circular_shift(img, 8, 3, -2);
+  const auto back = embed::circular_shift(shifted, 8, -3, 2);
+  EXPECT_EQ(back, img);
+  double a = 0.0, b = 0.0;
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    a += img[i];
+    b += shifted[i];
+  }
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Augment, RandomAugmentKeepsSizeAndRoughIntensity) {
+  util::Rng rng(1);
+  const auto img = ramp_image(15);
+  embed::AugmentConfig config;
+  config.noise_sd = 0.0;
+  config.gain_sd = 0.0;
+  const auto out = embed::augment(img, 15, config, rng);
+  EXPECT_EQ(out.size(), img.size());
+  double a = 0.0, b = 0.0;
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    a += img[i];
+    b += out[i];
+  }
+  EXPECT_NEAR(a, b, 1e-3);  // geometry-only augmentations preserve mass
+}
+
+Tensor small_bragg_set(std::size_t n, double drift, std::uint64_t seed) {
+  util::Rng rng(seed);
+  datagen::BraggRegime regime;
+  regime.sigma_major_mean *= 1.0 + drift;
+  regime.eta_mean = std::min(0.95, regime.eta_mean + drift);
+  return datagen::make_bragg_batchset(regime, {}, n, rng).xs;
+}
+
+class EmbedderContract : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EmbedderContract, FitEmbedShapesAndDeterminism) {
+  const std::string algo = GetParam();
+  const Tensor xs = small_bragg_set(48, 0.0, 2);
+  auto embedder = embed::make_embedder(algo, 15, 8, 33);
+  EXPECT_EQ(embedder->name(), algo);
+  EXPECT_EQ(embedder->embedding_dim(), 8u);
+
+  embed::EmbedTrainConfig config;
+  config.epochs = 2;
+  config.batch_size = 16;
+  embedder->fit(xs, config);
+  const Tensor e1 = embedder->embed(xs);
+  const Tensor e2 = embedder->embed(xs);
+  ASSERT_EQ(e1.shape(), (std::vector<std::size_t>{48, 8}));
+  for (std::size_t i = 0; i < e1.numel(); ++i) {
+    EXPECT_EQ(e1[i], e2[i]);  // eval-mode embedding is deterministic
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, EmbedderContract,
+                         ::testing::Values("autoencoder", "contrastive",
+                                           "byol"));
+
+TEST(Autoencoder, TrainingReducesReconstructionLoss) {
+  const Tensor xs = small_bragg_set(64, 0.0, 3);
+  embed::AutoencoderEmbedder ae(15, 8, 4);
+  embed::EmbedTrainConfig one;
+  one.epochs = 1;
+  const double first = ae.fit(xs, one);
+  embed::EmbedTrainConfig more;
+  more.epochs = 6;
+  const double later = ae.fit(xs, more);
+  EXPECT_LT(later, first);
+}
+
+TEST(Contrastive, TrainingReducesNtXent) {
+  const Tensor xs = small_bragg_set(48, 0.0, 5);
+  embed::ContrastiveEmbedder simclr(15, 8, 6);
+  embed::EmbedTrainConfig one;
+  one.epochs = 1;
+  one.batch_size = 16;
+  const double first = simclr.fit(xs, one);
+  embed::EmbedTrainConfig more;
+  more.epochs = 6;
+  more.batch_size = 16;
+  const double later = simclr.fit(xs, more);
+  EXPECT_LT(later, first);
+}
+
+TEST(Byol, TargetNetworkTracksOnlineViaEma) {
+  const Tensor xs = small_bragg_set(32, 0.0, 7);
+  embed::ByolEmbedder byol(15, 8, 8);
+  embed::EmbedTrainConfig config;
+  config.epochs = 2;
+  config.batch_size = 16;
+  const double loss = byol.fit(xs, config);
+  // BYOL regression loss is bounded in [0, 4] per pair.
+  EXPECT_GE(loss, 0.0);
+  EXPECT_LE(loss, 4.0);
+}
+
+TEST(Embedding, SeparatesDistinctRegimes) {
+  // Two regimes far apart in generative-parameter space should land in
+  // separable regions of embedding space: mean within-regime distance must
+  // be smaller than the between-regime distance of the centroids.
+  const Tensor a = small_bragg_set(40, 0.0, 10);
+  const Tensor b = small_bragg_set(40, 0.9, 11);
+
+  Tensor both({80, 1, 15, 15});
+  std::copy_n(a.data(), a.numel(), both.data());
+  std::copy_n(b.data(), b.numel(), both.data() + a.numel());
+
+  auto embedder = embed::make_embedder("byol", 15, 8, 12);
+  embed::EmbedTrainConfig config;
+  config.epochs = 6;
+  config.batch_size = 20;
+  embedder->fit(both, config);
+  const Tensor e = embedder->embed(both);
+
+  std::vector<double> ca(8, 0.0), cb(8, 0.0);
+  for (std::size_t i = 0; i < 40; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      ca[j] += e.at(i, j) / 40.0;
+      cb[j] += e.at(40 + i, j) / 40.0;
+    }
+  }
+  double between = 0.0;
+  for (std::size_t j = 0; j < 8; ++j) {
+    between += (ca[j] - cb[j]) * (ca[j] - cb[j]);
+  }
+  between = std::sqrt(between);
+
+  double within = 0.0;
+  for (std::size_t i = 0; i < 40; ++i) {
+    double da = 0.0, db = 0.0;
+    for (std::size_t j = 0; j < 8; ++j) {
+      da += (e.at(i, j) - ca[j]) * (e.at(i, j) - ca[j]);
+      db += (e.at(40 + i, j) - cb[j]) * (e.at(40 + i, j) - cb[j]);
+    }
+    within += (std::sqrt(da) + std::sqrt(db)) / 80.0;
+  }
+  EXPECT_GT(between, within)
+      << "embedding does not separate the two regimes";
+}
+
+TEST(EmbedderFactoryDeathTest, UnknownAlgorithmAborts) {
+  EXPECT_DEATH(embed::make_embedder("pca", 15, 8, 1),
+               "unknown embedding algorithm");
+}
+
+}  // namespace
+}  // namespace fairdms

@@ -1,0 +1,179 @@
+// fairMS tests: JSD identities and bounds (property suite), model Zoo CRUD,
+// manager ranking order, distance-threshold fallback, and re-indexing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fairms/jsd.hpp"
+#include "fairms/zoo.hpp"
+#include "nn/linear.hpp"
+#include "nn/serialize.hpp"
+#include "util/rng.hpp"
+
+namespace fairdms {
+namespace {
+
+using fairms::jensen_shannon_divergence;
+
+TEST(Jsd, IdenticalDistributionsAreZero) {
+  const std::vector<double> p{0.2, 0.3, 0.5};
+  EXPECT_NEAR(jensen_shannon_divergence(p, p), 0.0, 1e-12);
+}
+
+TEST(Jsd, DisjointSupportIsOne) {
+  const std::vector<double> p{1.0, 0.0};
+  const std::vector<double> q{0.0, 1.0};
+  EXPECT_NEAR(jensen_shannon_divergence(p, q), 1.0, 1e-12);
+}
+
+TEST(Jsd, SymmetricAndNormalizing) {
+  const std::vector<double> p{2.0, 6.0, 2.0};   // unnormalized
+  const std::vector<double> q{0.5, 0.25, 0.25};
+  EXPECT_NEAR(jensen_shannon_divergence(p, q),
+              jensen_shannon_divergence(q, p), 1e-12);
+  const std::vector<double> p_norm{0.2, 0.6, 0.2};
+  EXPECT_NEAR(jensen_shannon_divergence(p, q),
+              jensen_shannon_divergence(p_norm, q), 1e-12);
+}
+
+TEST(Jsd, MonotoneInDivergenceForInterpolation) {
+  // Sliding q from p toward disjoint support increases JSD monotonically.
+  const std::vector<double> p{0.7, 0.3, 0.0};
+  const std::vector<double> far{0.0, 0.3, 0.7};
+  double prev = -1.0;
+  for (double t = 0.0; t <= 1.0; t += 0.25) {
+    std::vector<double> q(3);
+    for (std::size_t i = 0; i < 3; ++i) {
+      q[i] = (1.0 - t) * p[i] + t * far[i];
+    }
+    const double d = jensen_shannon_divergence(p, q);
+    EXPECT_GT(d, prev - 1e-12);
+    prev = d;
+  }
+}
+
+// Property: bounds hold for random PDFs of various widths.
+class JsdBounds : public ::testing::TestWithParam<int> {};
+
+TEST_P(JsdBounds, AlwaysInUnitInterval) {
+  const auto k = static_cast<std::size_t>(GetParam());
+  util::Rng rng(k * 977);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> p(k), q(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      p[i] = rng.uniform();
+      q[i] = rng.uniform();
+    }
+    p[rng.uniform_index(k)] += 0.5;  // ensure nonzero mass
+    q[rng.uniform_index(k)] += 0.5;
+    const double d = jensen_shannon_divergence(p, q);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0 + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, JsdBounds, ::testing::Values(2, 5, 15, 64));
+
+TEST(Kl, SelfDivergenceIsZeroAndAsymmetry) {
+  const std::vector<double> p{0.5, 0.5};
+  const std::vector<double> q{0.9, 0.1};
+  EXPECT_NEAR(fairms::kl_divergence(p, p), 0.0, 1e-12);
+  EXPECT_NE(fairms::kl_divergence(p, q), fairms::kl_divergence(q, p));
+}
+
+std::vector<std::uint8_t> dummy_params(std::uint64_t seed) {
+  util::Rng rng(seed);
+  nn::Sequential net;
+  net.emplace<nn::Linear>(4, 2, rng);
+  return nn::save_parameters(net);
+}
+
+TEST(ModelZoo, PublishFetchRoundTrip) {
+  store::DocStore db;
+  fairms::ModelZoo zoo(db);
+  const std::vector<double> pdf{0.1, 0.9};
+  const auto id = zoo.publish("braggnn", "scan_5", pdf, dummy_params(1));
+  EXPECT_EQ(zoo.size(), 1u);
+  const auto rec = zoo.fetch(id);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->architecture, "braggnn");
+  EXPECT_EQ(rec->dataset_id, "scan_5");
+  EXPECT_EQ(rec->train_pdf, pdf);
+  EXPECT_FALSE(rec->parameters.empty());
+  EXPECT_FALSE(zoo.fetch(9999).has_value());
+}
+
+TEST(ModelZoo, ModelsOfFiltersByArchitecture) {
+  store::DocStore db;
+  fairms::ModelZoo zoo(db);
+  zoo.publish("braggnn", "a", {1.0}, dummy_params(1));
+  zoo.publish("cookienetae", "b", {1.0}, dummy_params(2));
+  zoo.publish("braggnn", "c", {1.0}, dummy_params(3));
+  EXPECT_EQ(zoo.models_of("braggnn").size(), 2u);
+  EXPECT_EQ(zoo.models_of("cookienetae").size(), 1u);
+  EXPECT_TRUE(zoo.models_of("tomonet").empty());
+}
+
+TEST(ModelZoo, ReindexUpdatesPdf) {
+  store::DocStore db;
+  fairms::ModelZoo zoo(db);
+  const auto id = zoo.publish("braggnn", "a", {0.5, 0.5}, dummy_params(1));
+  EXPECT_TRUE(zoo.reindex(id, {0.25, 0.25, 0.5}));
+  EXPECT_EQ(zoo.fetch(id)->train_pdf.size(), 3u);
+  EXPECT_FALSE(zoo.reindex(12345, {1.0}));
+}
+
+TEST(ModelManager, RanksByDistanceAscending) {
+  store::DocStore db;
+  fairms::ModelZoo zoo(db);
+  const std::vector<double> input{0.8, 0.2, 0.0};
+  const auto near_id =
+      zoo.publish("braggnn", "near", {0.75, 0.25, 0.0}, dummy_params(1));
+  const auto mid_id =
+      zoo.publish("braggnn", "mid", {0.4, 0.4, 0.2}, dummy_params(2));
+  const auto far_id =
+      zoo.publish("braggnn", "far", {0.0, 0.1, 0.9}, dummy_params(3));
+
+  fairms::ModelManager manager(zoo, 1.0);
+  const auto ranked = manager.rank("braggnn", input);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].model_id, near_id);
+  EXPECT_EQ(ranked[1].model_id, mid_id);
+  EXPECT_EQ(ranked[2].model_id, far_id);
+  EXPECT_LT(ranked[0].distance, ranked[1].distance);
+  EXPECT_LT(ranked[1].distance, ranked[2].distance);
+}
+
+TEST(ModelManager, ThresholdDeclinesDistantModels) {
+  store::DocStore db;
+  fairms::ModelZoo zoo(db);
+  zoo.publish("braggnn", "far", {0.0, 1.0}, dummy_params(1));
+  fairms::ModelManager strict(zoo, 0.05);
+  EXPECT_FALSE(strict.recommend("braggnn", std::vector<double>{1.0, 0.0})
+                   .has_value());
+  fairms::ModelManager lax(zoo, 1.0);
+  EXPECT_TRUE(lax.recommend("braggnn", std::vector<double>{1.0, 0.0})
+                  .has_value());
+}
+
+TEST(ModelManager, SkipsStaleIndexWidths) {
+  store::DocStore db;
+  fairms::ModelZoo zoo(db);
+  zoo.publish("braggnn", "old_clustering", {0.5, 0.5}, dummy_params(1));
+  zoo.publish("braggnn", "new_clustering", {0.3, 0.3, 0.4}, dummy_params(2));
+  fairms::ModelManager manager(zoo, 1.0);
+  const auto ranked =
+      manager.rank("braggnn", std::vector<double>{0.2, 0.2, 0.6});
+  ASSERT_EQ(ranked.size(), 1u);  // the 2-wide record is skipped
+}
+
+TEST(ModelManager, EmptyZooYieldsNoRecommendation) {
+  store::DocStore db;
+  fairms::ModelZoo zoo(db);
+  fairms::ModelManager manager(zoo, 0.5);
+  EXPECT_FALSE(
+      manager.recommend("braggnn", std::vector<double>{1.0}).has_value());
+}
+
+}  // namespace
+}  // namespace fairdms

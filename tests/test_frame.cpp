@@ -1,0 +1,105 @@
+// Frame-level tests: synthetic detector frames and the MIDAS-analog
+// peak-search + fit pipeline that the conventional baseline pays for.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "datagen/frame.hpp"
+#include "labeling/frame_label.hpp"
+#include "util/rng.hpp"
+
+namespace fairdms {
+namespace {
+
+datagen::BraggRegime quiet_regime() {
+  datagen::BraggRegime regime;
+  regime.noise_sd = 0.015;
+  return regime;
+}
+
+TEST(Frame, RendersRequestedPeaksWithSeparation) {
+  util::Rng rng(1);
+  datagen::FrameConfig config;
+  config.size = 128;
+  config.peaks = 12;
+  config.min_separation = 14.0;
+  const datagen::Frame frame = datagen::render_frame(config, quiet_regime(),
+                                                     rng);
+  EXPECT_EQ(frame.pixels.size(), 128u * 128u);
+  EXPECT_GE(frame.truth.size(), 10u);  // rejection sampling may drop a few
+  EXPECT_LE(frame.truth.size(), 12u);
+  for (std::size_t i = 0; i < frame.truth.size(); ++i) {
+    for (std::size_t j = i + 1; j < frame.truth.size(); ++j) {
+      const double dx = frame.truth[i].center_x - frame.truth[j].center_x;
+      const double dy = frame.truth[i].center_y - frame.truth[j].center_y;
+      EXPECT_GE(std::sqrt(dx * dx + dy * dy), config.min_separation - 1e-9);
+    }
+  }
+}
+
+TEST(FrameLabel, FindsAndLocalizesMostPeaks) {
+  util::Rng rng(2);
+  datagen::FrameConfig config;
+  config.size = 160;
+  config.peaks = 14;
+  config.min_separation = 18.0;
+  const datagen::Frame frame = datagen::render_frame(config, quiet_regime(),
+                                                     rng);
+  const auto found = labeling::label_frame(frame.pixels, config.size);
+
+  // Recall: most true peaks matched within 1 px by some detection.
+  std::size_t matched = 0;
+  double total_err = 0.0;
+  for (const auto& truth : frame.truth) {
+    double best = 1e300;
+    for (const auto& peak : found) {
+      const double dx = peak.center_x - truth.center_x;
+      const double dy = peak.center_y - truth.center_y;
+      best = std::min(best, std::sqrt(dx * dx + dy * dy));
+    }
+    if (best < 1.0) {
+      ++matched;
+      total_err += best;
+    }
+  }
+  EXPECT_GE(matched, frame.truth.size() * 8 / 10)
+      << "found " << found.size() << " peaks for " << frame.truth.size()
+      << " true ones";
+  EXPECT_LT(total_err / static_cast<double>(std::max<std::size_t>(1, matched)),
+            0.4);
+}
+
+TEST(FrameLabel, EmptyFrameYieldsNoPeaks) {
+  std::vector<float> flat(96 * 96, 0.01f);
+  const auto found = labeling::label_frame(flat, 96);
+  EXPECT_TRUE(found.empty());
+}
+
+TEST(FrameLabel, ThresholdControlsDetection) {
+  util::Rng rng(3);
+  datagen::FrameConfig config;
+  config.size = 96;
+  config.peaks = 6;
+  const datagen::Frame frame = datagen::render_frame(config, quiet_regime(),
+                                                     rng);
+  labeling::FrameLabelConfig lax;
+  lax.threshold = 0.1f;
+  labeling::FrameLabelConfig strict;
+  strict.threshold = 0.9f;
+  EXPECT_GE(labeling::label_frame(frame.pixels, 96, lax).size(),
+            labeling::label_frame(frame.pixels, 96, strict).size());
+}
+
+TEST(FrameLabel, MeasureFrameCostIsPositive) {
+  datagen::FrameConfig config;
+  config.size = 96;
+  config.peaks = 8;
+  const double cost =
+      labeling::measure_frame_cost(config, quiet_regime(), 2, 4);
+  EXPECT_GT(cost, 0.0);
+  EXPECT_LT(cost, 30.0);  // sanity: well under half a minute per small frame
+}
+
+}  // namespace
+}  // namespace fairdms

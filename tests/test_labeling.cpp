@@ -1,0 +1,115 @@
+// Tests for the conventional pseudo-Voigt labeler (MIDAS analog): parameter
+// recovery across a property sweep, parallel labeling consistency, and the
+// cluster cost-model arithmetic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "datagen/bragg.hpp"
+#include "labeling/voigt_fit.hpp"
+#include "util/rng.hpp"
+
+namespace fairdms {
+namespace {
+
+TEST(VoigtFit, RecoversCleanPeakCenterExactly) {
+  datagen::PeakParams p;
+  p.center_x = 8.27;
+  p.center_y = 6.43;
+  p.sigma_major = 2.0;
+  p.sigma_minor = 2.0;  // fitter assumes isotropic; match it here
+  p.eta = 0.4;
+  p.amplitude = 1.3;
+  p.background = 0.05;
+  std::vector<float> patch(15 * 15);
+  datagen::render_peak(p, 15, patch);
+  const auto fit = labeling::fit_peak(patch, 15);
+  EXPECT_NEAR(fit.center_x, p.center_x, 0.02);
+  EXPECT_NEAR(fit.center_y, p.center_y, 0.02);
+  EXPECT_NEAR(fit.eta, p.eta, 0.1);
+  EXPECT_NEAR(fit.amplitude, p.amplitude, 0.1);
+  EXPECT_LT(fit.residual, 1e-5);
+}
+
+// Property sweep: center recovery within 0.25px across positions, widths,
+// mixing ratios, and noise levels (sub-pixel accuracy is the whole point of
+// pseudo-Voigt labeling).
+class VoigtRecovery
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(VoigtRecovery, CenterWithinQuarterPixel) {
+  const auto [offset, sigma, eta] = GetParam();
+  datagen::PeakParams p;
+  p.center_x = 7.0 + offset;
+  p.center_y = 7.0 - offset * 0.6;
+  p.sigma_major = sigma;
+  p.sigma_minor = sigma;
+  p.eta = eta;
+  p.amplitude = 1.0;
+  std::vector<float> patch(15 * 15);
+  datagen::render_peak(p, 15, patch);
+  util::Rng rng(1234);
+  for (float& v : patch) {
+    v += static_cast<float>(rng.gaussian(0.0, 0.02));
+  }
+  const auto fit = labeling::fit_peak(patch, 15);
+  EXPECT_NEAR(fit.center_x, p.center_x, 0.25);
+  EXPECT_NEAR(fit.center_y, p.center_y, 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterGrid, VoigtRecovery,
+    ::testing::Combine(::testing::Values(-2.0, -0.7, 0.0, 1.3, 2.4),
+                       ::testing::Values(1.4, 2.0, 2.8),
+                       ::testing::Values(0.1, 0.5, 0.9)));
+
+TEST(VoigtFit, FlatPatchDoesNotExplode) {
+  std::vector<float> patch(15 * 15, 0.2f);
+  const auto fit = labeling::fit_peak(patch, 15);
+  // Center defaults near the middle; residual stays tiny.
+  EXPECT_GT(fit.center_x, 3.0);
+  EXPECT_LT(fit.center_x, 12.0);
+  EXPECT_LT(fit.residual, 1e-4);
+}
+
+TEST(LabelPatches, MatchesGroundTruthOnCleanBatch) {
+  util::Rng rng(7);
+  datagen::BraggRegime regime;
+  regime.noise_sd = 0.01;
+  const auto data = datagen::make_bragg_batchset(regime, {}, 24, rng);
+  double elapsed = 0.0, per_patch = 0.0;
+  const auto labels = labeling::label_patches(data.xs, {}, &elapsed,
+                                              &per_patch);
+  ASSERT_EQ(labels.shape(), data.ys.shape());
+  EXPECT_GT(elapsed, 0.0);
+  EXPECT_GT(per_patch, 0.0);
+  for (std::size_t i = 0; i < 24; ++i) {
+    const double err = datagen::bragg_pixel_error(labels, data.ys, 15, i);
+    EXPECT_LT(err, 0.5) << "sample " << i;
+  }
+}
+
+TEST(ClusterCostModel, PerfectScalingWithoutSerialFraction) {
+  labeling::ClusterCostModel model;
+  model.per_patch_seconds = 0.01;
+  model.serial_fraction = 0.0;
+  EXPECT_NEAR(model.project_seconds(1000, 1), 10.0, 1e-9);
+  EXPECT_NEAR(model.project_seconds(1000, 10), 1.0, 1e-9);
+}
+
+TEST(ClusterCostModel, AmdahlLimitsSpeedup) {
+  labeling::ClusterCostModel model;
+  model.per_patch_seconds = 0.01;
+  model.serial_fraction = 0.01;
+  const double t80 = model.project_seconds(10000, 80);
+  const double t1440 = model.project_seconds(10000, 1440);
+  EXPECT_LT(t1440, t80);
+  // Speedup of 1440 over 80 cores must be well below the 18x core ratio.
+  EXPECT_LT(t80 / t1440, 18.0);
+  // And never below the serial floor.
+  EXPECT_GT(t1440, 0.01 * 10000 * 0.01);
+}
+
+}  // namespace
+}  // namespace fairdms

@@ -1,0 +1,433 @@
+// NN stack tests: finite-difference gradient checks for every layer and
+// loss, optimizer behaviour, serialization round trips, trainer convergence,
+// and MC-dropout properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dropout.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/optim.hpp"
+#include "nn/pool.hpp"
+#include "nn/reshape.hpp"
+#include "nn/sequential.hpp"
+#include "nn/serialize.hpp"
+#include "nn/trainer.hpp"
+#include "nn/uncertainty.hpp"
+#include "nn/upsample.hpp"
+#include "util/rng.hpp"
+
+namespace fairdms {
+namespace {
+
+using nn::Mode;
+using nn::Tensor;
+
+/// Scalar objective for gradient checking: L = sum(layer(x) * w) with fixed
+/// random weights w, so dL/dout = w.
+double objective(nn::Layer& layer, const Tensor& x, const Tensor& w) {
+  const Tensor y = layer.forward(x, Mode::kTrain);
+  return tensor::dot(y, w);
+}
+
+/// Verifies layer.backward against central finite differences on inputs and
+/// parameters.
+void check_gradients(nn::Layer& layer, const Tensor& x, double tol = 2e-2) {
+  util::Rng rng(4242);
+  const Tensor y0 = layer.forward(x, Mode::kTrain);
+  const Tensor w = Tensor::randn(y0.shape(), rng);
+
+  layer.zero_grad();
+  layer.forward(x, Mode::kTrain);
+  const Tensor gx = layer.backward(w);
+
+  constexpr float kEps = 1e-3f;
+  // Input gradients (a sample of positions to keep runtime bounded).
+  Tensor xp = x;
+  const std::size_t stride = std::max<std::size_t>(1, x.numel() / 64);
+  for (std::size_t i = 0; i < x.numel(); i += stride) {
+    const float orig = xp[i];
+    xp[i] = orig + kEps;
+    const double up = objective(layer, xp, w);
+    xp[i] = orig - kEps;
+    const double down = objective(layer, xp, w);
+    xp[i] = orig;
+    const double fd = (up - down) / (2.0 * kEps);
+    EXPECT_NEAR(gx[i], fd, tol * std::max(1.0, std::fabs(fd)))
+        << "input grad at " << i;
+  }
+  // Parameter gradients.
+  layer.zero_grad();
+  layer.forward(x, Mode::kTrain);
+  layer.backward(w);
+  auto params = layer.params();
+  auto grads = layer.grads();
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    Tensor& theta = *params[p];
+    const Tensor& g = *grads[p];
+    const std::size_t pstride = std::max<std::size_t>(1, theta.numel() / 48);
+    for (std::size_t i = 0; i < theta.numel(); i += pstride) {
+      const float orig = theta[i];
+      theta[i] = orig + kEps;
+      const double up = objective(layer, x, w);
+      theta[i] = orig - kEps;
+      const double down = objective(layer, x, w);
+      theta[i] = orig;
+      const double fd = (up - down) / (2.0 * kEps);
+      EXPECT_NEAR(g[i], fd, tol * std::max(1.0, std::fabs(fd)))
+          << "param " << p << " grad at " << i;
+    }
+  }
+}
+
+TEST(GradCheck, Linear) {
+  util::Rng rng(1);
+  nn::Linear layer(6, 4, rng);
+  const Tensor x = Tensor::randn({3, 6}, rng);
+  check_gradients(layer, x);
+}
+
+TEST(GradCheck, Conv2dValid) {
+  util::Rng rng(2);
+  nn::Conv2d layer(2, 3, 3, rng);
+  const Tensor x = Tensor::randn({2, 2, 6, 6}, rng);
+  check_gradients(layer, x);
+}
+
+TEST(GradCheck, Conv2dStridedPadded) {
+  util::Rng rng(3);
+  nn::Conv2d layer(1, 2, 3, rng, /*stride=*/2, /*padding=*/1);
+  const Tensor x = Tensor::randn({2, 1, 7, 7}, rng);
+  check_gradients(layer, x);
+}
+
+TEST(GradCheck, Activations) {
+  util::Rng rng(4);
+  const Tensor x = Tensor::randn({4, 10}, rng);
+  {
+    nn::ReLU layer;
+    check_gradients(layer, x);
+  }
+  {
+    nn::LeakyReLU layer(0.1f);
+    check_gradients(layer, x);
+  }
+  {
+    nn::Sigmoid layer;
+    check_gradients(layer, x);
+  }
+  {
+    nn::Tanh layer;
+    check_gradients(layer, x);
+  }
+}
+
+TEST(GradCheck, Pools) {
+  util::Rng rng(5);
+  const Tensor x = Tensor::randn({2, 2, 6, 6}, rng);
+  {
+    nn::AvgPool2d layer(2);
+    check_gradients(layer, x);
+  }
+  {
+    // MaxPool gradients are exact except at argmax ties; random input makes
+    // ties measure-zero.
+    nn::MaxPool2d layer(2);
+    check_gradients(layer, x);
+  }
+}
+
+TEST(GradCheck, Upsample) {
+  util::Rng rng(6);
+  nn::Upsample2d layer(2);
+  const Tensor x = Tensor::randn({2, 1, 4, 4}, rng);
+  check_gradients(layer, x);
+}
+
+TEST(GradCheck, SequentialComposite) {
+  util::Rng rng(7);
+  nn::Sequential net;
+  net.emplace<nn::Conv2d>(1, 2, 3, rng);
+  net.emplace<nn::ReLU>();
+  net.emplace<nn::Flatten>();
+  net.emplace<nn::Linear>(2 * 4 * 4, 5, rng);
+  net.emplace<nn::Tanh>();
+  const Tensor x = Tensor::randn({2, 1, 6, 6}, rng);
+  check_gradients(net, x);
+}
+
+TEST(Loss, MseValueAndGradient) {
+  const Tensor pred = Tensor::from_vector({2, 2}, {1, 2, 3, 4});
+  const Tensor target = Tensor::from_vector({2, 2}, {0, 2, 3, 8});
+  const nn::LossResult r = nn::mse_loss(pred, target);
+  EXPECT_NEAR(r.value, (1.0 + 0.0 + 0.0 + 16.0) / 4.0, 1e-9);
+  EXPECT_NEAR(r.grad[0], 2.0 * 1.0 / 4.0, 1e-6);
+  EXPECT_NEAR(r.grad[3], 2.0 * -4.0 / 4.0, 1e-6);
+}
+
+TEST(Loss, L1ValueAndGradientSigns) {
+  const Tensor pred = Tensor::from_vector({3}, {1, -2, 0});
+  const Tensor target = Tensor::from_vector({3}, {0, 0, 0});
+  const nn::LossResult r = nn::l1_loss(pred, target);
+  EXPECT_NEAR(r.value, 1.0, 1e-9);
+  EXPECT_GT(r.grad[0], 0.0f);
+  EXPECT_LT(r.grad[1], 0.0f);
+  EXPECT_FLOAT_EQ(r.grad[2], 0.0f);
+}
+
+TEST(Loss, ByolZeroForAlignedVectors) {
+  const Tensor a = Tensor::from_vector({2, 3}, {1, 0, 0, 0, 2, 0});
+  const Tensor b = Tensor::from_vector({2, 3}, {3, 0, 0, 0, 5, 0});
+  const nn::LossResult r = nn::byol_loss(a, b);
+  EXPECT_NEAR(r.value, 0.0, 1e-6);
+}
+
+TEST(Loss, ByolGradientMatchesFiniteDifference) {
+  util::Rng rng(8);
+  Tensor a = Tensor::randn({3, 4}, rng);
+  const Tensor b = Tensor::randn({3, 4}, rng);
+  const nn::LossResult r = nn::byol_loss(a, b);
+  constexpr float kEps = 1e-3f;
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    const float orig = a[i];
+    a[i] = orig + kEps;
+    const double up = nn::byol_loss(a, b).value;
+    a[i] = orig - kEps;
+    const double down = nn::byol_loss(a, b).value;
+    a[i] = orig;
+    EXPECT_NEAR(r.grad[i], (up - down) / (2.0 * kEps), 5e-3) << "at " << i;
+  }
+}
+
+TEST(Loss, NtXentGradientMatchesFiniteDifference) {
+  util::Rng rng(9);
+  Tensor z = Tensor::randn({6, 5}, rng);  // 3 pairs
+  const nn::LossResult r = nn::nt_xent_loss(z, 0.5f);
+  EXPECT_GT(r.value, 0.0);
+  constexpr float kEps = 1e-3f;
+  for (std::size_t i = 0; i < z.numel(); i += 3) {
+    const float orig = z[i];
+    z[i] = orig + kEps;
+    const double up = nn::nt_xent_loss(z, 0.5f).value;
+    z[i] = orig - kEps;
+    const double down = nn::nt_xent_loss(z, 0.5f).value;
+    z[i] = orig;
+    EXPECT_NEAR(r.grad[i], (up - down) / (2.0 * kEps), 5e-3) << "at " << i;
+  }
+}
+
+TEST(Loss, NtXentPrefersAlignedPairs) {
+  // Aligned positives (view i == view i+B) score lower than random.
+  util::Rng rng(10);
+  Tensor aligned({4, 8});
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      const auto v = static_cast<float>(rng.gaussian());
+      aligned.at(i, j) = v;
+      aligned.at(i + 2, j) = v;  // identical positive
+    }
+  }
+  const Tensor random = Tensor::randn({4, 8}, rng);
+  EXPECT_LT(nn::nt_xent_loss(aligned).value, nn::nt_xent_loss(random).value);
+}
+
+TEST(Optim, SgdAndAdamMinimizeQuadratic) {
+  // One Linear layer with zero input bias: loss = |W x - t|^2. Both
+  // optimizers should cut the loss by >90%.
+  for (const bool use_adam : {false, true}) {
+    util::Rng rng(11);
+    nn::Sequential net;
+    net.emplace<nn::Linear>(4, 4, rng);
+    const Tensor x = Tensor::randn({16, 4}, rng);
+    const Tensor m = Tensor::randn({4, 4}, rng);
+    const Tensor t = tensor::matmul(x, m);  // realizable linear target
+    std::unique_ptr<nn::Optimizer> opt;
+    if (use_adam) {
+      opt = std::make_unique<nn::Adam>(net, 0.05);
+    } else {
+      opt = std::make_unique<nn::SGD>(net, 0.01, 0.9);
+    }
+    const double initial = nn::mse_loss(net.forward(x, Mode::kEval), t).value;
+    for (int step = 0; step < 200; ++step) {
+      opt->zero_grad();
+      const Tensor y = net.forward(x, Mode::kTrain);
+      const nn::LossResult loss = nn::mse_loss(y, t);
+      net.backward(loss.grad);
+      opt->step();
+    }
+    const double final = nn::mse_loss(net.forward(x, Mode::kEval), t).value;
+    EXPECT_LT(final, 0.1 * initial) << (use_adam ? "adam" : "sgd");
+  }
+}
+
+TEST(Optim, WeightDecayShrinksWeights) {
+  util::Rng rng(12);
+  nn::Sequential net;
+  net.emplace<nn::Linear>(3, 3, rng);
+  const double before = net.params()[0]->norm();
+  nn::SGD opt(net, 0.1, 0.0, /*weight_decay=*/0.5);
+  const Tensor x({2, 3});  // zero input -> zero task gradient
+  const Tensor t({2, 3});
+  for (int i = 0; i < 10; ++i) {
+    opt.zero_grad();
+    const Tensor y = net.forward(x, Mode::kTrain);
+    net.backward(nn::mse_loss(y, t).grad);
+    opt.step();
+  }
+  EXPECT_LT(net.params()[0]->norm(), before);
+}
+
+TEST(Serialize, RoundTripRestoresExactParameters) {
+  util::Rng rng(13);
+  nn::Sequential a;
+  a.emplace<nn::Conv2d>(1, 2, 3, rng);
+  a.emplace<nn::Linear>(8, 4, rng);
+  nn::Sequential b;
+  b.emplace<nn::Conv2d>(1, 2, 3, rng);
+  b.emplace<nn::Linear>(8, 4, rng);
+
+  const auto blob = nn::save_parameters(a);
+  nn::load_parameters(b, blob);
+  auto pa = a.params();
+  auto pb = b.params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    for (std::size_t j = 0; j < pa[i]->numel(); ++j) {
+      EXPECT_EQ((*pa[i])[j], (*pb[i])[j]);
+    }
+  }
+}
+
+TEST(SerializeDeathTest, CorruptBlobAborts) {
+  util::Rng rng(14);
+  nn::Sequential net;
+  net.emplace<nn::Linear>(3, 3, rng);
+  auto blob = nn::save_parameters(net);
+  blob[blob.size() / 2] ^= 0xFF;
+  EXPECT_DEATH(nn::load_parameters(net, blob), "checksum");
+}
+
+TEST(Serialize, FileRoundTrip) {
+  util::Rng rng(15);
+  nn::Sequential a;
+  a.emplace<nn::Linear>(5, 2, rng);
+  const std::string path = ::testing::TempDir() + "/fairdms_model.bin";
+  nn::save_parameters_file(a, path);
+  nn::Sequential b;
+  b.emplace<nn::Linear>(5, 2, rng);
+  nn::load_parameters_file(b, path);
+  EXPECT_EQ((*a.params()[0])[0], (*b.params()[0])[0]);
+}
+
+TEST(Trainer, GatherRowsSelectsCorrectRows) {
+  const Tensor t = Tensor::from_vector({3, 2}, {1, 2, 3, 4, 5, 6});
+  const std::vector<std::size_t> idx{2, 0};
+  const Tensor g = nn::gather_rows(t, idx);
+  EXPECT_FLOAT_EQ(g.at(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(g.at(1, 1), 2.0f);
+}
+
+TEST(Trainer, FitConvergesOnLinearTask) {
+  util::Rng rng(16);
+  util::Rng data_rng(17);
+  nn::Batchset train;
+  train.xs = Tensor::randn({128, 3}, data_rng);
+  // Ground truth: y = x * M with a fixed matrix M.
+  const Tensor m = Tensor::from_vector({3, 2}, {1, -1, 0.5, 2, -0.25, 0.75});
+  train.ys = tensor::matmul(train.xs, m);
+  nn::Batchset val;
+  val.xs = Tensor::randn({32, 3}, data_rng);
+  val.ys = tensor::matmul(val.xs, m);
+
+  nn::Sequential net;
+  net.emplace<nn::Linear>(3, 2, rng);
+  nn::Adam opt(net, 0.02);
+  nn::TrainConfig config;
+  config.max_epochs = 200;
+  config.batch_size = 32;
+  config.target_val_error = 1e-3;
+  const nn::TrainResult result = nn::fit(net, opt, train, val, config, rng);
+  EXPECT_TRUE(result.reached_target);
+  EXPECT_GT(result.convergence_epoch, 0u);
+  EXPECT_LE(result.final_val_error, 1e-3);
+  EXPECT_EQ(result.curve.size(), result.epochs_run);
+}
+
+TEST(Trainer, PatienceStopsEarly) {
+  util::Rng rng(18);
+  nn::Batchset train;
+  train.xs = Tensor::randn({16, 2}, rng);
+  train.ys = Tensor::randn({16, 1}, rng);  // pure noise: no progress
+  nn::Sequential net;
+  net.emplace<nn::Linear>(2, 1, rng);
+  nn::SGD opt(net, 0.0);  // lr 0: validation error frozen
+  nn::TrainConfig config;
+  config.max_epochs = 100;
+  config.patience = 3;
+  const nn::TrainResult result = nn::fit(net, opt, train, train, config, rng);
+  EXPECT_LE(result.epochs_run, 5u);
+}
+
+TEST(McDropout, ZeroSpreadWithoutDropout) {
+  util::Rng rng(19);
+  nn::Sequential net;
+  net.emplace<nn::Linear>(4, 2, rng);
+  const Tensor x = Tensor::randn({8, 4}, rng);
+  EXPECT_DOUBLE_EQ(nn::mc_dropout_uncertainty(net, x, 8), 0.0);
+}
+
+TEST(McDropout, PositiveSpreadWithDropoutAndEvalUnaffected) {
+  util::Rng rng(20);
+  nn::Sequential net;
+  net.emplace<nn::Linear>(4, 8, rng);
+  net.emplace<nn::ReLU>();
+  net.emplace<nn::Dropout>(0.5f, rng);
+  net.emplace<nn::Linear>(8, 2, rng);
+  const Tensor x = Tensor::randn({8, 4}, rng);
+  EXPECT_GT(nn::mc_dropout_uncertainty(net, x, 16), 0.0);
+  // kEval forward is deterministic.
+  const Tensor y1 = net.forward(x, Mode::kEval);
+  const Tensor y2 = net.forward(x, Mode::kEval);
+  for (std::size_t i = 0; i < y1.numel(); ++i) EXPECT_EQ(y1[i], y2[i]);
+}
+
+TEST(Dropout, InvertedScalingKeepsExpectation) {
+  util::Rng rng(21);
+  nn::Dropout layer(0.3f, rng);
+  const Tensor x = Tensor::full({10000}, 1.0f);
+  const Tensor y = layer.forward(x, Mode::kTrain);
+  EXPECT_NEAR(y.mean(), 1.0, 0.05);
+}
+
+TEST(Sequential, CopyAndEmaParameters) {
+  util::Rng rng(22);
+  nn::Sequential a, b;
+  a.emplace<nn::Linear>(3, 3, rng);
+  b.emplace<nn::Linear>(3, 3, rng);
+  b.copy_parameters_from(a);
+  EXPECT_EQ((*a.params()[0])[0], (*b.params()[0])[0]);
+
+  // EMA with tau=1 copies, tau=0 freezes.
+  nn::Sequential c;
+  c.emplace<nn::Linear>(3, 3, rng);
+  const float before = (*c.params()[0])[0];
+  c.ema_update_from(a, 0.0f);
+  EXPECT_EQ((*c.params()[0])[0], before);
+  c.ema_update_from(a, 1.0f);
+  EXPECT_EQ((*c.params()[0])[0], (*a.params()[0])[0]);
+}
+
+TEST(Sequential, ParameterCount) {
+  util::Rng rng(23);
+  nn::Sequential net;
+  net.emplace<nn::Linear>(10, 5, rng);  // 50 + 5
+  net.emplace<nn::Linear>(5, 2, rng);   // 10 + 2
+  EXPECT_EQ(net.parameter_count(), 67u);
+}
+
+}  // namespace
+}  // namespace fairdms

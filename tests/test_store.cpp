@@ -1,0 +1,318 @@
+// Store substrate tests: document values (round trips, ordering), the
+// MongoDB-analog collection (CRUD, indexes, range queries, concurrency),
+// codecs (round-trip property suites, compression behaviour), the NFS store,
+// and the remote-link accounting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include "datagen/tomography.hpp"
+#include "store/codec.hpp"
+#include "store/docstore.hpp"
+#include "store/nfs.hpp"
+#include "util/rng.hpp"
+
+namespace fairdms {
+namespace {
+
+using store::Binary;
+using store::Object;
+using store::Value;
+
+TEST(Document, ScalarRoundTrips) {
+  const Value values[] = {Value(nullptr), Value(true),  Value(false),
+                          Value(std::int64_t{-42}),     Value(3.5),
+                          Value("hello"),               Value(Binary{1, 2, 3})};
+  for (const Value& v : values) {
+    Binary buf;
+    v.encode(buf);
+    const Value back = Value::decode(buf);
+    EXPECT_EQ(v.compare(back), 0) << v.to_json();
+  }
+}
+
+TEST(Document, NestedRoundTrip) {
+  Object obj;
+  obj["name"] = Value("bragg");
+  obj["count"] = Value(std::int64_t{15});
+  obj["pdf"] = Value(store::Array{Value(0.25), Value(0.75)});
+  Object inner;
+  inner["flag"] = Value(true);
+  obj["meta"] = Value(std::move(inner));
+  const Value doc{std::move(obj)};
+
+  Binary buf;
+  doc.encode(buf);
+  const Value back = Value::decode(buf);
+  EXPECT_EQ(doc.compare(back), 0);
+  EXPECT_EQ(back.at("name").as_string(), "bragg");
+  EXPECT_EQ(back.at("meta").at("flag").as_bool(), true);
+  EXPECT_DOUBLE_EQ(back.at("pdf").as_array()[1].as_double(), 0.75);
+}
+
+TEST(Document, OrderingIsTotalWithinType) {
+  EXPECT_LT(Value(std::int64_t{1}).compare(Value(std::int64_t{2})), 0);
+  EXPECT_GT(Value("b").compare(Value("a")), 0);
+  EXPECT_EQ(Value(2.5).compare(Value(2.5)), 0);
+  // Heterogeneous values order by type tag, consistently.
+  const int c = Value(std::int64_t{5}).compare(Value("5"));
+  EXPECT_NE(c, 0);
+  EXPECT_EQ(-c, Value("5").compare(Value(std::int64_t{5})));
+}
+
+TEST(Document, JsonRendering) {
+  Object obj;
+  obj["x"] = Value(std::int64_t{1});
+  obj["b"] = Value(Binary{9, 9});
+  const std::string json = Value(std::move(obj)).to_json();
+  EXPECT_NE(json.find("\"x\":1"), std::string::npos);
+  EXPECT_NE(json.find("<2 bytes>"), std::string::npos);
+}
+
+TEST(Collection, InsertFindUpdateRemove) {
+  store::DocStore db;
+  auto& col = db.collection("samples");
+  Object doc;
+  doc["cluster"] = Value(std::int64_t{3});
+  const store::DocId id = col.insert_one(Value(std::move(doc)));
+  EXPECT_EQ(col.size(), 1u);
+
+  auto found = col.find_by_id(id);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->at("cluster").as_int(), 3);
+  EXPECT_EQ(found->at("_id").as_int(), static_cast<std::int64_t>(id));
+
+  EXPECT_TRUE(col.update_field(id, "cluster", Value(std::int64_t{5})));
+  EXPECT_EQ(col.find_by_id(id)->at("cluster").as_int(), 5);
+
+  Object repl;
+  repl["cluster"] = Value(std::int64_t{9});
+  EXPECT_TRUE(col.replace_one(id, Value(std::move(repl))));
+  EXPECT_EQ(col.find_by_id(id)->at("cluster").as_int(), 9);
+
+  EXPECT_TRUE(col.remove_one(id));
+  EXPECT_FALSE(col.find_by_id(id).has_value());
+  EXPECT_FALSE(col.remove_one(id));
+}
+
+TEST(Collection, IndexedAndScannedQueriesAgree) {
+  store::DocStore db;
+  auto& indexed = db.collection("indexed");
+  auto& scanned = db.collection("scanned");
+  indexed.create_index("cluster");
+  util::Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    Object doc;
+    doc["cluster"] = Value(static_cast<std::int64_t>(rng.uniform_index(7)));
+    Object copy = doc;
+    indexed.insert_one(Value(std::move(doc)));
+    scanned.insert_one(Value(std::move(copy)));
+  }
+  for (std::int64_t c = 0; c < 7; ++c) {
+    const auto a = indexed.find_eq("cluster", Value(c));
+    const auto b = scanned.find_eq("cluster", Value(c));
+    EXPECT_EQ(a.size(), b.size()) << "cluster " << c;
+  }
+}
+
+TEST(Collection, IndexBuiltOverExistingDocumentsAndMaintained) {
+  store::DocStore db;
+  auto& col = db.collection("c");
+  for (int i = 0; i < 10; ++i) {
+    Object doc;
+    doc["v"] = Value(static_cast<std::int64_t>(i % 2));
+    col.insert_one(Value(std::move(doc)));
+  }
+  col.create_index("v");  // built after the fact
+  EXPECT_EQ(col.find_eq("v", Value(std::int64_t{0})).size(), 5u);
+  // Updates keep the index consistent.
+  const auto ids = col.find_eq("v", Value(std::int64_t{1}));
+  col.update_field(ids.front(), "v", Value(std::int64_t{0}));
+  EXPECT_EQ(col.find_eq("v", Value(std::int64_t{0})).size(), 6u);
+  EXPECT_EQ(col.find_eq("v", Value(std::int64_t{1})).size(), 4u);
+}
+
+TEST(Collection, RangeQueries) {
+  store::DocStore db;
+  auto& col = db.collection("r");
+  col.create_index("t");
+  for (int i = 0; i < 20; ++i) {
+    Object doc;
+    doc["t"] = Value(static_cast<std::int64_t>(i));
+    col.insert_one(Value(std::move(doc)));
+  }
+  const auto hits =
+      col.find_range("t", Value(std::int64_t{5}), Value(std::int64_t{9}));
+  EXPECT_EQ(hits.size(), 4u);  // 5, 6, 7, 8
+}
+
+TEST(Collection, ParallelReadersWithConcurrentWriter) {
+  store::DocStore db;
+  auto& col = db.collection("hot");
+  col.create_index("k");
+  for (int i = 0; i < 100; ++i) {
+    Object doc;
+    doc["k"] = Value(static_cast<std::int64_t>(i % 4));
+    col.insert_one(Value(std::move(doc)));
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> reads{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      util::Rng rng(100 + r);
+      while (!stop.load()) {
+        const auto ids = col.find_eq(
+            "k", Value(static_cast<std::int64_t>(rng.uniform_index(4))));
+        for (store::DocId id : ids) {
+          if (col.find_by_id(id).has_value()) reads.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    Object doc;
+    doc["k"] = Value(static_cast<std::int64_t>(i % 4));
+    col.insert_one(Value(std::move(doc)));
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(col.size(), 300u);
+  EXPECT_GT(reads.load(), 0u);
+}
+
+TEST(DocStore, CollectionsAreStableAndListed) {
+  store::DocStore db;
+  auto& a = db.collection("alpha");
+  auto& a2 = db.collection("alpha");
+  EXPECT_EQ(&a, &a2);
+  db.collection("beta");
+  const auto names = db.collection_names();
+  EXPECT_EQ(names.size(), 2u);
+  EXPECT_TRUE(db.has_collection("beta"));
+  EXPECT_FALSE(db.has_collection("gamma"));
+}
+
+// --- codecs ---------------------------------------------------------------
+
+class CodecRoundTrip
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(CodecRoundTrip, ExactFloatRecovery) {
+  const auto& [name, size] = GetParam();
+  const auto codec = store::make_codec(name);
+  util::Rng rng(static_cast<std::uint64_t>(size) * 31 + 7);
+  std::vector<float> values(static_cast<std::size_t>(size));
+  for (auto& v : values) {
+    // Mix of smooth values, zeros, negatives and runs (image-like content).
+    const double u = rng.uniform();
+    if (u < 0.3) {
+      v = 0.0f;
+    } else if (u < 0.5) {
+      v = 0.25f;  // repeated value -> runs
+    } else {
+      v = static_cast<float>(rng.gaussian(0.0, 1.0));
+    }
+  }
+  const auto bytes = codec->encode(values);
+  std::vector<float> back;
+  codec->decode(bytes, back);
+  ASSERT_EQ(back.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(back[i], values[i]) << name << " at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecsAllSizes, CodecRoundTrip,
+    ::testing::Combine(::testing::Values("raw", "pickle", "blosc"),
+                       ::testing::Values(0, 1, 2, 17, 225, 1024, 16384)));
+
+TEST(Codec, BloscCompressesSmoothImages) {
+  // Tomography phantoms are smooth -> byte-shuffle + RLE must beat raw.
+  util::Rng rng(3);
+  datagen::TomoConfig config;
+  config.size = 64;
+  std::vector<float> img(64 * 64);
+  datagen::render_phantom(config, rng, img);
+  const store::BloscCodec blosc;
+  const store::RawCodec raw;
+  EXPECT_LT(blosc.encode(img).size(), raw.encode(img).size());
+}
+
+TEST(Codec, PickleDecodeCostsMoreThanRaw) {
+  // The design invariant behind Figs. 6-8: interpreted pickle decode is
+  // slower than memcpy. Measure a generous ratio to stay robust on CI.
+  util::Rng rng(4);
+  std::vector<float> values(1 << 16);
+  for (auto& v : values) v = static_cast<float>(rng.gaussian());
+  const store::PickleCodec pickle;
+  const store::RawCodec raw;
+  const auto pb = pickle.encode(values);
+  const auto rb = raw.encode(values);
+  std::vector<float> out;
+  const auto time_decode = [&](const store::Codec& c,
+                               const std::vector<std::uint8_t>& bytes) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < 20; ++i) c.decode(bytes, out);
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  EXPECT_GT(time_decode(pickle, pb), time_decode(raw, rb));
+}
+
+TEST(Codec, UnknownNameAborts) {
+  EXPECT_DEATH(store::make_codec("hdf5"), "unknown codec");
+}
+
+// --- NFS store --------------------------------------------------------------
+
+TEST(NfsStore, WriteReadRoundTrip) {
+  const std::string root = ::testing::TempDir() + "/fairdms_nfs_test";
+  store::NfsStore nfs(root, store::RemoteLinkConfig{.latency_seconds = 0.0,
+                                                    .bandwidth_bytes_per_s =
+                                                        1e12});
+  nn::Batchset data;
+  util::Rng rng(5);
+  data.xs = nn::Tensor::randn({6, 1, 4, 4}, rng);
+  data.ys = nn::Tensor::randn({6, 2}, rng);
+  nfs.write_dataset("unit", data);
+
+  EXPECT_EQ(nfs.sample_count("unit"), 6u);
+  EXPECT_EQ(nfs.x_shape("unit"), (std::vector<std::size_t>{1, 4, 4}));
+  EXPECT_EQ(nfs.y_shape("unit"), (std::vector<std::size_t>{2}));
+  std::vector<float> x, y;
+  nfs.read_sample("unit", 3, x, y);
+  ASSERT_EQ(x.size(), 16u);
+  ASSERT_EQ(y.size(), 2u);
+  for (std::size_t j = 0; j < 16; ++j) {
+    EXPECT_EQ(x[j], data.xs[3 * 16 + j]);
+  }
+  EXPECT_GT(nfs.link().requests(), 0u);
+}
+
+TEST(RemoteLink, AccountsRequestsAndBytes) {
+  store::RemoteLink link(store::RemoteLinkConfig{
+      .latency_seconds = 0.0, .bandwidth_bytes_per_s = 1e12});
+  link.charge(100);
+  link.charge(200);
+  EXPECT_EQ(link.requests(), 2u);
+  EXPECT_EQ(link.bytes_moved(), 300u);
+}
+
+TEST(RemoteLink, LatencyActuallyBlocks) {
+  store::RemoteLink link(store::RemoteLinkConfig{
+      .latency_seconds = 2e-3, .bandwidth_bytes_per_s = 1e12});
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 5; ++i) link.charge(64);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_GE(elapsed, 8e-3);  // 5 x 2ms, minus scheduler slack
+}
+
+}  // namespace
+}  // namespace fairdms

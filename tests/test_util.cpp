@@ -1,0 +1,208 @@
+// Unit tests for util: RNG determinism and distributions, thread pool
+// correctness (including nesting), statistics helpers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fairdms {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  util::Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  util::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+  const util::Rng parent(7);
+  util::Rng c1 = parent.fork(1);
+  util::Rng c1_again = parent.fork(1);
+  util::Rng c2 = parent.fork(2);
+  EXPECT_EQ(c1(), c1_again());
+  // Distinct keys give distinct streams.
+  util::Rng d1 = parent.fork(1);
+  util::Rng d2 = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (d1() == d2()) ++same;
+  }
+  EXPECT_LT(same, 2);
+  (void)c2;
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  util::Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRangeUniformly) {
+  util::Rng rng(42);
+  std::vector<int> counts(10, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.uniform_index(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, draws / 10, draws / 10 * 0.15);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  util::Rng rng(7);
+  util::RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.gaussian());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, PoissonMeanMatchesLambdaSmallAndLarge) {
+  util::Rng rng(11);
+  for (double lambda : {0.5, 3.0, 25.0, 80.0}) {
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+      sum += static_cast<double>(rng.poisson(lambda));
+    }
+    EXPECT_NEAR(sum / n, lambda, lambda * 0.08 + 0.05) << "lambda=" << lambda;
+  }
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  util::Rng rng(3);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto w = v;
+  rng.shuffle(w);
+  EXPECT_NE(v, w);  // astronomically unlikely to be identity
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  util::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.parallel_for(hits.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroAndOne) {
+  util::ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> total{0};
+  pool.parallel_for(1, [&](std::size_t b, std::size_t e) {
+    total += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(total.load(), 1);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  util::ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(8, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      pool.parallel_for(8, [&](std::size_t b2, std::size_t e2) {
+        total += static_cast<int>(e2 - b2);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, ChunkedVariantReportsDenseChunkIds) {
+  util::ThreadPool pool(4);
+  std::mutex m;
+  std::set<std::size_t> chunks;
+  pool.parallel_for_chunked(1000, [&](std::size_t c, std::size_t, std::size_t) {
+    std::lock_guard lock(m);
+    chunks.insert(c);
+  });
+  // Chunk ids must be dense 0..n-1.
+  std::size_t expect = 0;
+  for (std::size_t c : chunks) EXPECT_EQ(c, expect++);
+}
+
+TEST(ThreadPool, SubmitAndWaitIdle) {
+  util::ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&] { done.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(util::mean(xs), 2.5);
+  EXPECT_NEAR(util::stddev(xs), std::sqrt(1.25), 1e-12);
+  EXPECT_DOUBLE_EQ(util::mean(std::span<const double>{}), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(util::percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(util::percentile(xs, 100), 4.0);
+  EXPECT_DOUBLE_EQ(util::percentile(xs, 50), 2.5);
+  EXPECT_DOUBLE_EQ(util::percentile(std::vector<double>{5.0}, 75), 5.0);
+}
+
+TEST(Stats, PearsonSignAndBounds) {
+  std::vector<double> xs(50), up(50), down(50);
+  for (int i = 0; i < 50; ++i) {
+    xs[i] = i;
+    up[i] = 2.0 * i + 1.0;
+    down[i] = -3.0 * i;
+  }
+  EXPECT_NEAR(util::pearson(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(util::pearson(xs, down), -1.0, 1e-12);
+  const std::vector<double> flat(50, 2.0);
+  EXPECT_DOUBLE_EQ(util::pearson(xs, flat), 0.0);
+}
+
+TEST(Stats, HistogramPdfSumsToOneAndClamps) {
+  const std::vector<double> xs{-10.0, 0.1, 0.5, 0.9, 42.0};
+  const auto pdf = util::histogram_pdf(xs, 0.0, 1.0, 4);
+  double sum = 0.0;
+  for (double v : pdf) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_GT(pdf.front(), 0.0);  // clamped -10
+  EXPECT_GT(pdf.back(), 0.0);   // clamped 42
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  util::Rng rng(5);
+  std::vector<double> xs;
+  util::RunningStats rs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.gaussian(3.0, 2.0);
+    xs.push_back(x);
+    rs.add(x);
+  }
+  EXPECT_NEAR(rs.mean(), util::mean(xs), 1e-9);
+  EXPECT_NEAR(rs.stddev(), util::stddev(xs), 1e-9);
+}
+
+}  // namespace
+}  // namespace fairdms

@@ -1,0 +1,151 @@
+// Workflow substrate tests: flow DAG ordering and parallelism, cycle/unknown
+// dependency detection, funcX endpoint capacity semantics, transfer-time
+// arithmetic and accounting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "workflow/flow.hpp"
+#include "workflow/funcx.hpp"
+#include "workflow/transfer.hpp"
+
+namespace fairdms {
+namespace {
+
+TEST(Flow, RunsTasksInDependencyOrder) {
+  std::mutex m;
+  std::vector<std::string> order;
+  auto log = [&](const std::string& name) {
+    std::lock_guard lock(m);
+    order.push_back(name);
+  };
+  workflow::Flow flow("pipeline");
+  flow.add_task("train", [&] { log("train"); }, {"label"});
+  flow.add_task("label", [&] { log("label"); }, {"acquire"});
+  flow.add_task("acquire", [&] { log("acquire"); });
+  flow.add_task("deploy", [&] { log("deploy"); }, {"train"});
+  const auto report = flow.run();
+
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], "acquire");
+  EXPECT_EQ(order[1], "label");
+  EXPECT_EQ(order[2], "train");
+  EXPECT_EQ(order[3], "deploy");
+  EXPECT_EQ(report.tasks.size(), 4u);
+  EXPECT_GT(report.total_seconds, 0.0);
+
+  // Per-task report intervals nest inside the flow and respect deps.
+  const auto* label = report.find("label");
+  const auto* train = report.find("train");
+  ASSERT_NE(label, nullptr);
+  ASSERT_NE(train, nullptr);
+  EXPECT_LE(label->end_seconds, train->start_seconds + 1e-6);
+  EXPECT_EQ(report.find("nonexistent"), nullptr);
+}
+
+TEST(Flow, IndependentTasksOverlap) {
+  // Two 30ms sleeps with no deps should finish in well under 60ms on the
+  // multi-worker pool.
+  workflow::Flow flow("parallel");
+  auto nap = [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  };
+  flow.add_task("a", nap);
+  flow.add_task("b", nap);
+  const auto report = flow.run();
+  EXPECT_LT(report.total_seconds, 0.055);
+}
+
+TEST(FlowDeathTest, CycleIsRejected) {
+  workflow::Flow flow("cyclic");
+  flow.add_task("a", [] {}, {"b"});
+  flow.add_task("b", [] {}, {"a"});
+  EXPECT_DEATH(flow.run(), "cycle");
+}
+
+TEST(FlowDeathTest, UnknownDependencyIsRejected) {
+  workflow::Flow flow("dangling");
+  flow.add_task("a", [] {}, {"ghost"});
+  EXPECT_DEATH(flow.run(), "unknown task");
+}
+
+TEST(FlowDeathTest, DuplicateTaskNameIsRejected) {
+  workflow::Flow flow("dup");
+  flow.add_task("a", [] {});
+  EXPECT_DEATH(flow.add_task("a", [] {}), "duplicate");
+}
+
+TEST(FuncX, InvokeRunsRegisteredFunction) {
+  workflow::FuncXRegistry registry;
+  registry.add_endpoint("edge", 2);
+  registry.register_function("double", "edge", [](const workflow::Payload& p) {
+    return workflow::Payload(p.as_int() * 2);
+  });
+  EXPECT_TRUE(registry.has_function("double"));
+  EXPECT_FALSE(registry.has_function("triple"));
+  const auto result =
+      registry.invoke("double", workflow::Payload(std::int64_t{21}));
+  EXPECT_EQ(result.as_int(), 42);
+  const auto stats = registry.stats("edge");
+  EXPECT_EQ(stats.invocations, 1u);
+  EXPECT_GE(stats.busy_seconds, 0.0);
+}
+
+TEST(FuncX, CapacityOneSerializesConcurrentInvocations) {
+  workflow::FuncXRegistry registry;
+  registry.add_endpoint("gpu", 1);
+  std::atomic<int> inside{0};
+  std::atomic<int> max_inside{0};
+  registry.register_function("busy", "gpu", [&](const workflow::Payload&) {
+    const int now = inside.fetch_add(1) + 1;
+    int prev = max_inside.load();
+    while (now > prev && !max_inside.compare_exchange_weak(prev, now)) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    inside.fetch_sub(1);
+    return workflow::Payload(nullptr);
+  });
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back(
+        [&] { registry.invoke("busy", workflow::Payload(nullptr)); });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(max_inside.load(), 1);
+  EXPECT_EQ(registry.stats("gpu").invocations, 4u);
+}
+
+TEST(FuncXDeathTest, UnknownFunctionAndEndpoint) {
+  workflow::FuncXRegistry registry;
+  registry.add_endpoint("e", 1);
+  EXPECT_DEATH(registry.invoke("nope", workflow::Payload(nullptr)),
+               "unknown function");
+  EXPECT_DEATH(registry.register_function("f", "ghost", [](const auto& p) {
+    return p;
+  }),
+               "unknown endpoint");
+}
+
+TEST(Transfer, TimeIsLatencyPlusBytesOverBandwidth) {
+  workflow::TransferService svc;
+  svc.set_link("beamline", "compute",
+               {.latency_seconds = 0.5, .bandwidth_bytes_per_s = 1000.0});
+  EXPECT_DOUBLE_EQ(svc.transfer("beamline", "compute", 2000), 2.5);
+  const auto stats = svc.stats("beamline", "compute");
+  EXPECT_EQ(stats.transfers, 1u);
+  EXPECT_EQ(stats.bytes, 2000u);
+  EXPECT_DOUBLE_EQ(stats.seconds, 2.5);
+}
+
+TEST(Transfer, LinksAreDirectional) {
+  workflow::TransferService svc;
+  svc.set_link("a", "b", {.latency_seconds = 0.0,
+                          .bandwidth_bytes_per_s = 1e6});
+  EXPECT_DEATH(svc.transfer("b", "a", 10), "no link");
+  EXPECT_EQ(svc.stats("b", "a").transfers, 0u);
+}
+
+}  // namespace
+}  // namespace fairdms
