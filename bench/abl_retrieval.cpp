@@ -9,6 +9,7 @@
 //       while the two-level (cluster -> in-cluster) search stays flat-ish.
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "embed/augment.hpp"
@@ -118,7 +119,7 @@ int main() {
     fairds::PixelNnBaseline pixel(15);
     pixel.ingest(history.xs, history.ys);
     util::WallTimer pixel_timer;
-    pixel.lookup(queries.xs);
+    bench::do_not_optimize(pixel.lookup(queries.xs));
     const double pixel_ms = pixel_timer.millis() / 32.0;
 
     store::DocStore db;
@@ -131,7 +132,7 @@ int main() {
     ds.train_system(history.xs);
     ds.ingest(history.xs, history.ys, "history");
     util::WallTimer ds_timer;
-    ds.lookup(queries.xs, kSeed + 4);
+    bench::do_not_optimize(ds.lookup(queries.xs, kSeed + 4));
     const double ds_ms = ds_timer.millis() / 32.0;
     bench::print_row(history_size, pixel_ms, ds_ms);
   }

@@ -43,6 +43,13 @@ void print_row(const Cells&... cells) {
   std::printf("\n");
 }
 
+/// Keeps a timed result observably alive so the compiler cannot drop the
+/// measured computation (and [[nodiscard]] stays satisfied).
+template <typename T>
+void do_not_optimize(const T& value) {
+  asm volatile("" : : "g"(&value) : "memory");
+}
+
 /// Standard HEDM timeline used across the Bragg figures: smooth drift with
 /// one deformation event (the paper's "sample deformation around scan 444",
 /// rescaled onto a short timeline).

@@ -3,6 +3,7 @@
 // timeline. A deformation event partway through degrades the model; both
 // the error and the uncertainty signal it.
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "datagen/bragg.hpp"

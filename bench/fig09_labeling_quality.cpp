@@ -5,6 +5,8 @@
 // finds them equivalent while fairDS labels orders of magnitude faster.
 #include <cmath>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "fairds/fairds.hpp"

@@ -6,6 +6,7 @@
 // claim: the two are positively correlated, so JSD ranking finds good
 // foundations without running inference.
 #include <cstdio>
+#include <vector>
 
 #include "datagen/bragg.hpp"
 #include "util/stats.hpp"

@@ -2,6 +2,7 @@
 // a *gradually drifting* CookieBox timeline — the monotone counterpart of
 // Fig. 10.
 #include <cstdio>
+#include <vector>
 
 #include "datagen/cookiebox.hpp"
 #include "nn/loss.hpp"

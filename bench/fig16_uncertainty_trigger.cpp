@@ -5,6 +5,7 @@
 // the static system's certainty, while the triggered system retrains and
 // stays high.
 #include <cstdio>
+#include <string>
 
 #include "bench_common.hpp"
 #include "cluster/fuzzy.hpp"

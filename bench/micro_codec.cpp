@@ -2,6 +2,8 @@
 // cost hierarchy Figs. 6-8 depend on: raw < blosc < pickle on decode, and
 // blosc's compression win on smooth image payloads.
 #include <benchmark/benchmark.h>
+#include <string>
+#include <vector>
 
 #include "datagen/tomography.hpp"
 #include "store/codec.hpp"

@@ -2,6 +2,7 @@
 // indexed vs scanned equality queries (the paper's §II-A requirement ii:
 // "efficient data lookup by using embedding indexing").
 #include <benchmark/benchmark.h>
+#include <vector>
 
 #include "store/docstore.hpp"
 #include "util/rng.hpp"

@@ -4,6 +4,7 @@
 // whole store snapshotted to disk so a later campaign can reload both the
 // data and the model (the FAIR loop closed end to end).
 #include <cstdio>
+#include <string>
 
 #include "datagen/tomography.hpp"
 #include "fairms/zoo.hpp"

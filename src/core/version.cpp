@@ -1,0 +1,7 @@
+#include "core/version.hpp"
+
+namespace fairdms::core {
+
+const char* Version() { return FAIRDMS_VERSION_STRING; }
+
+}  // namespace fairdms::core

@@ -62,7 +62,8 @@ std::vector<std::uint8_t> save_parameters(Sequential& model) {
     const auto bytes = p->numel() * sizeof(float);
     const std::size_t offset = out.size();
     out.resize(offset + bytes);
-    std::memcpy(out.data() + offset, p->data(), bytes);
+    // Empty tensors have a null data(), which memcpy must never see (UB).
+    if (bytes != 0) std::memcpy(out.data() + offset, p->data(), bytes);
   }
   append_u64(out, fnv1a(out.data(), out.size()));
   return out;
@@ -96,7 +97,7 @@ void load_parameters(Sequential& model,
     }
     const auto bytes = numel * sizeof(float);
     FAIRDMS_CHECK(pos + bytes <= payload, "model blob truncated (data)");
-    std::memcpy(p->data(), blob.data() + pos, bytes);
+    if (bytes != 0) std::memcpy(p->data(), blob.data() + pos, bytes);
     pos += bytes;
   }
   FAIRDMS_CHECK(pos == payload, "model blob has trailing bytes");

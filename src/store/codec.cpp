@@ -45,7 +45,10 @@ std::vector<std::uint8_t> RawCodec::encode(
   put_u32(out, static_cast<std::uint32_t>(values.size()));
   const std::size_t offset = out.size();
   out.resize(offset + values.size() * 4);
-  std::memcpy(out.data() + offset, values.data(), values.size() * 4);
+  if (!values.empty()) {
+    // Empty spans have a null data(), which memcpy must never see (UB).
+    std::memcpy(out.data() + offset, values.data(), values.size() * 4);
+  }
   return out;
 }
 
@@ -57,7 +60,9 @@ void RawCodec::decode(std::span<const std::uint8_t> bytes,
   FAIRDMS_CHECK(pos + std::size_t{n} * 4 == bytes.size(),
                 "raw codec: length mismatch");
   out.resize(n);
-  std::memcpy(out.data(), bytes.data() + pos, std::size_t{n} * 4);
+  if (n != 0) {
+    std::memcpy(out.data(), bytes.data() + pos, std::size_t{n} * 4);
+  }
 }
 
 std::vector<std::uint8_t> PickleCodec::encode(

@@ -1,13 +1,28 @@
 #include "workflow/flow.hpp"
 
+#include <algorithm>
 #include <condition_variable>
 #include <mutex>
+#include <thread>
 
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace fairdms::workflow {
+
+namespace {
+
+// Flow tasks are latency-bound (sleeps, transfers, remote calls), so the DAG
+// executor needs at least two workers to overlap independent tasks even on
+// single-core hosts. The global pool stays sized for CPU-bound kernels.
+util::ThreadPool& flow_pool() {
+  static util::ThreadPool pool(
+      std::max<std::size_t>(2, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+}  // namespace
 
 const TaskReport* FlowReport::find(const std::string& name) const {
   for (const TaskReport& t : tasks) {
@@ -70,7 +85,7 @@ FlowReport Flow::run() {
   std::mutex mutex;
   std::condition_variable cv_done;
   std::size_t completed = 0;
-  auto& pool = util::ThreadPool::global();
+  auto& pool = flow_pool();
 
   // Submit a task once its dependency count reaches zero.
   std::function<void(std::size_t)> launch = [&](std::size_t i) {
@@ -86,9 +101,12 @@ FlowReport Flow::run() {
         for (std::size_t d : dependents[i]) {
           if (--missing[d] == 0) ready.push_back(d);
         }
+        // Notify while holding the lock: once it is released with
+        // completed == n, Flow::run may return and destroy cv_done, so a
+        // notify after the unlock would race with that destruction.
+        cv_done.notify_all();
       }
       for (std::size_t d : ready) launch(d);
-      cv_done.notify_all();
     });
   };
 

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cmath>
 #include <set>
+#include <vector>
 
 #include "cluster/fuzzy.hpp"
 #include "cluster/kmeans.hpp"

@@ -1,6 +1,7 @@
 // Core tests: task-model factories, degradation monitor baseline/trigger
 // behaviour, and the FairDMS end-to-end update across all three strategies.
 #include <gtest/gtest.h>
+#include <vector>
 
 #include "core/degradation.hpp"
 #include "core/fairdms.hpp"

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "datagen/bragg.hpp"
 #include "datagen/cookiebox.hpp"

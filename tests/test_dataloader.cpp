@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <string>
 #include <tuple>
+#include <vector>
 
 #include "store/dataloader.hpp"
 #include "util/rng.hpp"

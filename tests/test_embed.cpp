@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "datagen/bragg.hpp"
 #include "embed/augment.hpp"

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "fairms/jsd.hpp"
 #include "fairms/zoo.hpp"

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "datagen/frame.hpp"
 #include "labeling/frame_label.hpp"

@@ -6,6 +6,7 @@
 //   - both strategies reach the accuracy target,
 //   - the updated model lands back in the Zoo with a matching distribution.
 #include <gtest/gtest.h>
+#include <vector>
 
 #include "core/fairdms.hpp"
 #include "datagen/bragg.hpp"

@@ -5,6 +5,7 @@
 
 #include <cmath>
 #include <tuple>
+#include <vector>
 
 #include "datagen/bragg.hpp"
 #include "labeling/voigt_fit.hpp"

@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <set>
+#include <vector>
 
 #include "cluster/kmeans.hpp"
 #include "nn/pool.hpp"

@@ -5,6 +5,8 @@
 
 #include <cmath>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "nn/activations.hpp"
 #include "nn/conv2d.hpp"

@@ -1,6 +1,8 @@
 // Snapshot persistence tests: store round trips, index rebuild, zoo
 // survival across a simulated service restart.
 #include <gtest/gtest.h>
+#include <string>
+#include <vector>
 
 #include "fairms/zoo.hpp"
 #include "nn/linear.hpp"

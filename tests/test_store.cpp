@@ -5,8 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "datagen/tomography.hpp"
 #include "store/codec.hpp"
@@ -161,7 +164,7 @@ TEST(Collection, ParallelReadersWithConcurrentWriter) {
   std::atomic<std::size_t> reads{0};
   std::vector<std::thread> readers;
   for (int r = 0; r < 3; ++r) {
-    readers.emplace_back([&] {
+    readers.emplace_back([&, r] {
       util::Rng rng(100 + r);
       while (!stop.load()) {
         const auto ids = col.find_eq(
@@ -177,6 +180,10 @@ TEST(Collection, ParallelReadersWithConcurrentWriter) {
     doc["k"] = Value(static_cast<std::int64_t>(i % 4));
     col.insert_one(Value(std::move(doc)));
   }
+  // On single-core hosts the writer can finish before any reader is ever
+  // scheduled; wait for one successful read so the assertion below is
+  // deterministic rather than a scheduling lottery.
+  while (reads.load() == 0) std::this_thread::yield();
   stop.store(true);
   for (auto& t : readers) t.join();
   EXPECT_EQ(col.size(), 300u);

@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <tuple>
+#include <vector>
 
 #include "tensor/tensor.hpp"
 #include "util/rng.hpp"

@@ -4,7 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <mutex>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "workflow/flow.hpp"
