@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <utility>
 
 #include "store/codec.hpp"
 #include "util/check.hpp"
@@ -23,6 +27,9 @@ std::vector<float> decode_floats(const store::Binary& bytes) {
   codec.decode(bytes, out);
   return out;
 }
+
+/// Projection for sample fetches: the image/label pair, nothing else.
+const std::vector<std::string> kXYFields = {"x", "y"};
 
 }  // namespace
 
@@ -62,6 +69,46 @@ void FairDS::train_system_impl(const Tensor& xs, std::uint64_t seed) {
 
 void FairDS::train_system(const Tensor& historical_xs) {
   train_system_impl(historical_xs, config_.seed);
+  // If the collection already holds samples (re-training over an existing
+  // history, or a FairDS constructed over a restored snapshot), mirror
+  // their stored cluster/embedding fields into the reuse index; those
+  // fields stay authoritative until maybe_retrain re-assigns them.
+  rebuild_index_from_store();
+}
+
+void FairDS::rebuild_index_from_store() {
+  // Stored cluster ids can legitimately exceed the current model's k (they
+  // were assigned under an earlier clustering and stay authoritative until
+  // maybe_retrain re-assigns); queries only ever probe clusters < k, so
+  // such rows are simply unreachable — exactly like the pre-index
+  // implementation's find_eq on the stored field. Negative or absurdly
+  // large values, however, mean corrupt data and must fail loudly instead
+  // of indexing out of bounds.
+  constexpr std::int64_t kMaxClusterId = 1 << 20;
+  struct Row {
+    store::DocId id;
+    std::size_t cluster;
+    std::vector<float> embedding;
+  };
+  std::vector<Row> rows;
+  samples_->scan([&](store::DocId id, const store::Value& doc) {
+    auto emb = decode_floats(doc.at("embedding").as_binary());
+    FAIRDMS_CHECK(emb.size() == config_.embedding_dim,
+                  "stored embedding has wrong width");
+    const std::int64_t cluster = doc.at("cluster").as_int();
+    FAIRDMS_CHECK(cluster >= 0 && cluster < kMaxClusterId, "stored sample ",
+                  id, " has corrupt cluster id ", cluster);
+    rows.push_back({id, static_cast<std::size_t>(cluster), std::move(emb)});
+  });
+  // Insert in id order so nearest-neighbor ties resolve to the lowest id,
+  // matching the legacy find_eq member ordering and maybe_retrain's
+  // all_ids()-ordered rebuild (scan order is hash-map order).
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.id < b.id; });
+  reuse_index_.reset(config_.embedding_dim);
+  for (const Row& row : rows) {
+    reuse_index_.add(row.cluster, row.id, row.embedding);
+  }
 }
 
 void FairDS::ingest(const Tensor& xs, const Tensor& ys,
@@ -93,7 +140,23 @@ void FairDS::ingest(const Tensor& xs, const Tensor& ys,
         store::Value(encode_floats({ys.data() + i * label_w, label_w}));
     docs.emplace_back(std::move(doc));
   }
-  samples_->insert_many(std::move(docs));
+  const std::vector<store::DocId> ids = samples_->insert_many(std::move(docs));
+
+  // Mirror the new rows into the reuse index incrementally — ingest already
+  // has the embeddings and assignments in hand. train_system/maybe_retrain
+  // always reset the index to the configured width before ingest can run;
+  // a mismatch here would mean index and store have desynchronized.
+  FAIRDMS_CHECK(reuse_index_.dim() == config_.embedding_dim,
+                "FairDS::ingest: reuse index width ", reuse_index_.dim(),
+                " != configured embedding dim ", config_.embedding_dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    reuse_index_.add(assignments[i], ids[i],
+                     {embeddings.data() + i * config_.embedding_dim,
+                      config_.embedding_dim});
+  }
+  if (label_width_.load(std::memory_order_relaxed) == 0) {
+    label_width_.store(label_w, std::memory_order_relaxed);
+  }
 }
 
 double FairDS::certainty(const Tensor& xs) const {
@@ -114,8 +177,11 @@ bool FairDS::maybe_retrain(const Tensor& new_xs) {
                  "%)");
 
   // Retrain the system plane on history + the new data, then re-assign the
-  // stored samples under the refreshed embedding/clustering.
-  Tensor history = stored_images();
+  // stored samples under the refreshed embedding/clustering. One batched
+  // projected read pulls every stored image; retraining inputs and the
+  // re-assignment pass share it.
+  const std::vector<store::DocId> ids = samples_->all_ids();
+  const Tensor history = images_for(ids);
   Tensor combined;
   if (history.empty()) {
     combined = new_xs;
@@ -130,25 +196,27 @@ bool FairDS::maybe_retrain(const Tensor& new_xs) {
   ++retrains_;
   train_system_impl(combined, config_.seed + retrains_);
 
-  // Re-embed and re-assign every stored document.
-  std::vector<store::DocId> ids;
-  samples_->scan([&](store::DocId id, const store::Value&) {
-    ids.push_back(id);
-  });
-  const std::size_t pixels = config_.image_size * config_.image_size;
-  for (store::DocId id : ids) {
-    const auto doc = samples_->find_by_id(id);
-    if (!doc.has_value()) continue;
-    const auto x = decode_floats(doc->at("x").as_binary());
-    FAIRDMS_CHECK(x.size() == pixels, "stored sample has wrong pixel count");
-    Tensor img({1, 1, config_.image_size, config_.image_size});
-    std::copy(x.begin(), x.end(), img.data());
-    const Tensor e = embedder_->embed(img);
-    const std::size_t a = kmeans_->assign({e.data(), e.numel()});
-    samples_->update_field(id, "cluster",
-                           store::Value(static_cast<std::int64_t>(a)));
-    samples_->update_field(id, "embedding",
-                           store::Value(encode_floats({e.data(), e.numel()})));
+  // Re-embed all stored images in one batch, re-assign them in one batched
+  // update pass, and rebuild the reuse index from the fresh embeddings
+  // without another store read.
+  reuse_index_.reset(config_.embedding_dim);
+  if (!ids.empty()) {
+    const Tensor embeddings = embedder_->embed(history);
+    const auto assignments = kmeans_->assign_batch(embeddings);
+    std::vector<std::pair<store::DocId, store::Object>> updates;
+    updates.reserve(ids.size());
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const std::span<const float> row{
+          embeddings.data() + i * config_.embedding_dim,
+          config_.embedding_dim};
+      store::Object fields;
+      fields["cluster"] =
+          store::Value(static_cast<std::int64_t>(assignments[i]));
+      fields["embedding"] = store::Value(encode_floats(row));
+      updates.emplace_back(ids[i], std::move(fields));
+      reuse_index_.add(assignments[i], ids[i], row);
+    }
+    samples_->update_many(std::move(updates));
   }
   return true;
 }
@@ -165,13 +233,18 @@ std::vector<double> FairDS::distribution(const Tensor& xs) const {
 }
 
 std::size_t FairDS::label_width() const {
-  std::size_t width = 0;
+  std::size_t width = label_width_.load(std::memory_order_relaxed);
+  if (width != 0) return width;
+  // Unknown width (e.g. FairDS built over an existing collection): derive
+  // it from any stored sample once and cache it. Racing readers compute
+  // the same value, so a plain atomic store publishes it safely.
   samples_->scan([&](store::DocId, const store::Value& doc) {
     if (width == 0) {
       width = decode_floats(doc.at("y").as_binary()).size();
     }
   });
   FAIRDMS_CHECK(width > 0, "FairDS: no stored samples to infer label width");
+  label_width_.store(width, std::memory_order_relaxed);
   return width;
 }
 
@@ -179,14 +252,14 @@ nn::Batchset FairDS::fetch_samples(
     const std::vector<store::DocId>& ids) const {
   FAIRDMS_CHECK(!ids.empty(), "FairDS::fetch_samples: empty id list");
   const std::size_t pixels = config_.image_size * config_.image_size;
+  const auto docs = samples_->find_many(ids, kXYFields);
   nn::Batchset out;
   bool first = true;
   std::size_t label_w = 0;
   for (std::size_t i = 0; i < ids.size(); ++i) {
-    const auto doc = samples_->find_by_id(ids[i]);
-    FAIRDMS_CHECK(doc.has_value(), "FairDS: stored sample vanished");
-    const auto x = decode_floats(doc->at("x").as_binary());
-    const auto y = decode_floats(doc->at("y").as_binary());
+    FAIRDMS_CHECK(docs[i].has_value(), "FairDS: stored sample vanished");
+    const auto x = decode_floats(docs[i]->at("x").as_binary());
+    const auto y = decode_floats(docs[i]->at("y").as_binary());
     if (first) {
       label_w = y.size();
       out.xs = Tensor({ids.size(), 1, config_.image_size, config_.image_size});
@@ -260,54 +333,84 @@ nn::Batchset FairDS::lookup_or_label(
   FAIRDMS_CHECK(trained(), "FairDS::lookup_or_label before train_system");
   const std::size_t n = xs.dim(0);
   const std::size_t pixels = config_.image_size * config_.image_size;
+  nn::Batchset out;
+  out.xs = xs;
+
+  // Cold start: with no stored history every sample routes to the fallback
+  // labeler and the label width comes from its output.
+  if (stored_count() == 0) {
+    const Tensor computed = fallback_labeler(xs);
+    FAIRDMS_CHECK(computed.rank() == 2 && computed.dim(0) == n,
+                  "fallback labeler returned wrong shape");
+    out.ys = computed;
+    if (stats != nullptr) stats->computed += n;
+    return out;
+  }
+
   const Tensor embeddings = embedder_->embed(xs);
   const auto assignments = kmeans_->assign_batch(embeddings);
 
-  // Two-level search: cluster members first, then nearest-by-embedding
-  // within the cluster.
-  std::vector<std::size_t> fallback_rows;
-  nn::Batchset out;
-  out.xs = xs;
+  // Two-level search: the k-means assignment picks the cluster, the reuse
+  // index finds the nearest stored member — dense floats only, parallel
+  // over query rows, no store traffic.
+  const auto neighbors = reuse_index_.nearest_batch(
+      {embeddings.data(), embeddings.numel()}, assignments);
+
   out.ys = Tensor({n, label_width()});
   const std::size_t label_w = out.ys.dim(1);
 
+  std::vector<std::size_t> reuse_rows;
+  std::vector<store::DocId> reuse_ids;
+  std::vector<std::size_t> fallback_rows;
   for (std::size_t i = 0; i < n; ++i) {
-    const auto members = samples_->find_eq(
-        "cluster", store::Value(static_cast<std::int64_t>(assignments[i])));
-    double best = std::numeric_limits<double>::infinity();
-    store::DocId best_id = 0;
-    std::vector<float> best_x;
-    std::vector<float> best_y;
-    const float* e = embeddings.data() + i * config_.embedding_dim;
-    for (store::DocId id : members) {
-      const auto doc = samples_->find_by_id(id);
-      if (!doc.has_value()) continue;
-      const auto emb = decode_floats(doc->at("embedding").as_binary());
-      double d = 0.0;
-      for (std::size_t j = 0; j < emb.size(); ++j) {
-        const double diff = static_cast<double>(e[j]) - emb[j];
-        d += diff * diff;
-      }
-      d = std::sqrt(d);
-      if (d < best) {
-        best = d;
-        best_id = id;
-        best_x = decode_floats(doc->at("x").as_binary());
-        best_y = decode_floats(doc->at("y").as_binary());
-      }
-    }
-    if (best_id != 0 && best < threshold) {
-      // Paper §III-E: the reused entry is the *historical pair* {p, l(p)} —
-      // a consistent image/label pair from the store — not the new image
-      // with a borrowed label.
-      FAIRDMS_CHECK(best_y.size() == label_w, "stored label width mismatch");
-      FAIRDMS_CHECK(best_x.size() == pixels, "stored image size mismatch");
-      std::copy(best_x.begin(), best_x.end(), out.xs.data() + i * pixels);
-      std::copy(best_y.begin(), best_y.end(), out.ys.data() + i * label_w);
-      if (stats != nullptr) ++stats->reused;
+    const ReuseIndex::Neighbor& nb = neighbors[i];
+    if (nb.found() && std::sqrt(nb.dist2) < threshold) {
+      reuse_rows.push_back(i);
+      reuse_ids.push_back(nb.id);
     } else {
       fallback_rows.push_back(i);
     }
+  }
+
+  if (!reuse_rows.empty()) {
+    // Paper §III-E: the reused entry is the *historical pair* {p, l(p)} —
+    // a consistent image/label pair from the store — not the new image
+    // with a borrowed label. One batched projected read fetches every
+    // *unique* winning pair (queries often share a nearest neighbor in
+    // small clusters; no point fetching and charging the same document
+    // once per query).
+    std::vector<store::DocId> unique_ids;
+    std::unordered_map<store::DocId, std::size_t> doc_slot;
+    std::vector<std::size_t> row_slot(reuse_rows.size());
+    for (std::size_t j = 0; j < reuse_rows.size(); ++j) {
+      const auto [it, inserted] =
+          doc_slot.try_emplace(reuse_ids[j], unique_ids.size());
+      if (inserted) unique_ids.push_back(reuse_ids[j]);
+      row_slot[j] = it->second;
+    }
+    const auto docs = samples_->find_many(unique_ids, kXYFields);
+    std::size_t reused = 0;
+    for (std::size_t j = 0; j < reuse_rows.size(); ++j) {
+      const std::size_t i = reuse_rows[j];
+      const auto& doc = docs[row_slot[j]];
+      if (!doc.has_value()) {
+        // The winning document was removed from the store after the index
+        // row was built; serve the query via the fallback labeler instead
+        // of failing the whole batch.
+        fallback_rows.push_back(i);
+        continue;
+      }
+      const auto x = decode_floats(doc->at("x").as_binary());
+      const auto y = decode_floats(doc->at("y").as_binary());
+      FAIRDMS_CHECK(y.size() == label_w, "stored label width mismatch");
+      FAIRDMS_CHECK(x.size() == pixels, "stored image size mismatch");
+      std::copy(x.begin(), x.end(), out.xs.data() + i * pixels);
+      std::copy(y.begin(), y.end(), out.ys.data() + i * label_w);
+      ++reused;
+    }
+    if (stats != nullptr) stats->reused += reused;
+    // Vanished-winner rows were appended out of order.
+    std::sort(fallback_rows.begin(), fallback_rows.end());
   }
 
   if (!fallback_rows.empty()) {
@@ -342,19 +445,21 @@ std::size_t FairDS::n_clusters() const {
   return kmeans_.has_value() ? kmeans_->k() : 0;
 }
 
-Tensor FairDS::stored_images() const {
-  const std::size_t n = samples_->size();
-  if (n == 0) return Tensor();
+Tensor FairDS::images_for(const std::vector<store::DocId>& ids) const {
+  if (ids.empty()) return Tensor();
+  static const std::vector<std::string> kXField = {"x"};
   const std::size_t pixels = config_.image_size * config_.image_size;
-  Tensor out({n, 1, config_.image_size, config_.image_size});
-  std::size_t i = 0;
-  samples_->scan([&](store::DocId, const store::Value& doc) {
-    const auto x = decode_floats(doc.at("x").as_binary());
+  const auto docs = samples_->find_many(ids, kXField);
+  Tensor out({ids.size(), 1, config_.image_size, config_.image_size});
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    FAIRDMS_CHECK(docs[i].has_value(), "FairDS: stored sample vanished");
+    const auto x = decode_floats(docs[i]->at("x").as_binary());
     FAIRDMS_CHECK(x.size() == pixels, "stored sample has wrong pixel count");
     std::copy(x.begin(), x.end(), out.data() + i * pixels);
-    ++i;
-  });
+  }
   return out;
 }
+
+Tensor FairDS::stored_images() const { return images_for(samples_->all_ids()); }
 
 }  // namespace fairdms::fairds

@@ -14,6 +14,7 @@
 // the Fig. 9 workload).
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -23,6 +24,7 @@
 #include "cluster/fuzzy.hpp"
 #include "cluster/kmeans.hpp"
 #include "embed/embedder.hpp"
+#include "fairds/reuse_index.hpp"
 #include "nn/trainer.hpp"
 #include "store/docstore.hpp"
 #include "util/rng.hpp"
@@ -95,6 +97,10 @@ class FairDS {
   /// Per-sample reuse: for each input, the nearest stored sample within its
   /// cluster is reused when its embedding distance is below `threshold`;
   /// otherwise `fallback_labeler` computes the label ([M,1,S,S] -> [M,L]).
+  /// Nearest-neighbor search runs on the in-memory reuse index; winning
+  /// documents are fetched in one batched, field-projected store read. On
+  /// an empty store every sample routes to the fallback labeler and the
+  /// label width is inferred from its output (cold start).
   nn::Batchset lookup_or_label(
       const Tensor& xs, double threshold,
       const std::function<Tensor(const Tensor&)>& fallback_labeler,
@@ -107,16 +113,18 @@ class FairDS {
   [[nodiscard]] std::size_t n_clusters() const;
   [[nodiscard]] std::size_t retrain_count() const { return retrains_; }
   [[nodiscard]] const FairDSConfig& config() const { return config_; }
+  /// The in-memory per-cluster embedding index backing lookup_or_label.
+  [[nodiscard]] const ReuseIndex& reuse_index() const { return reuse_index_; }
 
  private:
-  struct StoredSample {
-    store::DocId id;
-    std::vector<float> embedding;
-  };
-
   void train_system_impl(const Tensor& xs, std::uint64_t seed);
+  /// Rebuilds the reuse index from the stored `cluster`/`embedding` fields
+  /// (used when models change but stored assignments are authoritative).
+  void rebuild_index_from_store();
   /// All stored images as [N, 1, S, S] (system-plane retraining input).
   [[nodiscard]] Tensor stored_images() const;
+  /// Images of `ids`, row i from ids[i], via one batched projected read.
+  [[nodiscard]] Tensor images_for(const std::vector<store::DocId>& ids) const;
   [[nodiscard]] nn::Batchset fetch_samples(
       const std::vector<store::DocId>& ids) const;
   [[nodiscard]] std::size_t label_width() const;
@@ -126,6 +134,11 @@ class FairDS {
   store::Collection* samples_;
   std::unique_ptr<embed::Embedder> embedder_;
   std::optional<cluster::KMeansModel> kmeans_;
+  ReuseIndex reuse_index_;
+  /// Label width of ingested samples; 0 until known (set on first ingest,
+  /// re-derived from the store when a FairDS is built over existing data).
+  /// Atomic because const read paths may fill the cache concurrently.
+  mutable std::atomic<std::size_t> label_width_{0};
   mutable util::Rng rng_;
   std::size_t retrains_ = 0;
 };

@@ -1,0 +1,103 @@
+#include "fairds/reuse_index.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fairdms::fairds {
+
+namespace {
+/// Distances accumulate in blocks of this many dimensions between pruning
+/// checks: big enough to keep the inner loop tight, small enough that a
+/// hopeless candidate is abandoned after a fraction of a wide row.
+constexpr std::size_t kPruneBlock = 8;
+}  // namespace
+
+void ReuseIndex::reset(std::size_t dim) {
+  FAIRDMS_CHECK(dim > 0, "ReuseIndex::reset: dim must be positive");
+  dim_ = dim;
+  clusters_.clear();
+}
+
+void ReuseIndex::add(std::size_t cluster, store::DocId id,
+                     std::span<const float> embedding) {
+  FAIRDMS_CHECK(dim_ > 0, "ReuseIndex::add before reset");
+  FAIRDMS_CHECK(embedding.size() == dim_, "ReuseIndex::add: embedding has ",
+                embedding.size(), " dims, index expects ", dim_);
+  FAIRDMS_CHECK(id != 0, "ReuseIndex::add: id 0 is the not-found sentinel");
+  FAIRDMS_CHECK(cluster < std::numeric_limits<std::size_t>::max(),
+                "ReuseIndex::add: cluster id overflow");
+  if (cluster >= clusters_.size()) clusters_.resize(cluster + 1);
+  ClusterRows& rows = clusters_[cluster];
+  rows.rows.insert(rows.rows.end(), embedding.begin(), embedding.end());
+  rows.ids.push_back(id);
+}
+
+ReuseIndex::Neighbor ReuseIndex::nearest(std::size_t cluster,
+                                         std::span<const float> query) const {
+  FAIRDMS_CHECK(query.size() == dim_, "ReuseIndex::nearest: query has ",
+                query.size(), " dims, index expects ", dim_);
+  Neighbor best;
+  if (cluster >= clusters_.size()) return best;
+  const ClusterRows& rows = clusters_[cluster];
+  for (std::size_t r = 0; r < rows.ids.size(); ++r) {
+    const float* row = rows.rows.data() + r * dim_;
+    double d = 0.0;
+    std::size_t j = 0;
+    while (j < dim_) {
+      const std::size_t stop = std::min(dim_, j + kPruneBlock);
+      for (; j < stop; ++j) {
+        const double diff =
+            static_cast<double>(query[j]) - static_cast<double>(row[j]);
+        d += diff * diff;
+      }
+      // Partial pruning: the sum only grows, so once it reaches the current
+      // best this row cannot win (winners need a strictly smaller total).
+      if (d >= best.dist2) break;
+    }
+    if (j == dim_ && d < best.dist2) {
+      best.dist2 = d;
+      best.id = rows.ids[r];
+    }
+  }
+  return best;
+}
+
+std::vector<ReuseIndex::Neighbor> ReuseIndex::nearest_batch(
+    std::span<const float> queries,
+    std::span<const std::size_t> clusters) const {
+  FAIRDMS_CHECK(dim_ > 0, "ReuseIndex::nearest_batch before reset");
+  FAIRDMS_CHECK(queries.size() == clusters.size() * dim_,
+                "ReuseIndex::nearest_batch: ", queries.size(),
+                " floats for ", clusters.size(), " queries of dim ", dim_);
+  std::vector<Neighbor> out(clusters.size());
+  util::parallel_for(
+      clusters.size(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          out[i] = nearest(clusters[i],
+                           queries.subspan(i * dim_, dim_));
+        }
+      },
+      /*min_grain=*/4);
+  return out;
+}
+
+std::size_t ReuseIndex::size() const {
+  std::size_t total = 0;
+  for (const ClusterRows& rows : clusters_) total += rows.ids.size();
+  return total;
+}
+
+std::size_t ReuseIndex::cluster_size(std::size_t cluster) const {
+  return cluster < clusters_.size() ? clusters_[cluster].ids.size() : 0;
+}
+
+std::span<const store::DocId> ReuseIndex::cluster_ids(
+    std::size_t cluster) const {
+  if (cluster >= clusters_.size()) return {};
+  return clusters_[cluster].ids;
+}
+
+}  // namespace fairdms::fairds

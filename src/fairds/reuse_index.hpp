@@ -1,0 +1,79 @@
+// In-memory embedding index for the fairDS per-sample reuse path (the
+// second level of the paper's two-level hierarchical search, §II-A).
+//
+// The document store holds each sample's embedding as an encoded binary
+// field, which made the Fig. 9 reuse workload O(queries x cluster size)
+// document fetches + decodes per batch. This index keeps a structure-of-
+// arrays mirror of that data — per cluster, a contiguous row-major float
+// block of embeddings plus a parallel DocId array — so nearest-neighbor
+// search touches only dense floats and returns DocIds; the store is then
+// read once, batched, for just the winning documents.
+//
+// Populated incrementally at FairDS::ingest, rebuilt wholesale when
+// maybe_retrain refreshes the embedding/clustering models. Searches use
+// squared-distance partial pruning (abandon a candidate as soon as its
+// partial sum exceeds the current best) and parallelize over query rows on
+// util::ThreadPool. Read-only operations are safe to call concurrently;
+// mutation requires external exclusion (FairDS's system plane owns that).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "store/docstore.hpp"
+
+namespace fairdms::fairds {
+
+class ReuseIndex {
+ public:
+  /// Nearest stored row for one query. `id == 0` means the cluster had no
+  /// members (DocStore ids start at 1, so 0 is free as a sentinel).
+  struct Neighbor {
+    store::DocId id = 0;
+    double dist2 = std::numeric_limits<double>::infinity();
+    [[nodiscard]] bool found() const { return id != 0; }
+  };
+
+  ReuseIndex() = default;
+  explicit ReuseIndex(std::size_t dim) : dim_(dim) {}
+
+  /// Drops every row and fixes the embedding width for subsequent adds.
+  void reset(std::size_t dim);
+
+  /// Appends one (document, embedding) row to `cluster`, growing the
+  /// cluster list on demand. `embedding.size()` must equal dim().
+  void add(std::size_t cluster, store::DocId id,
+           std::span<const float> embedding);
+
+  /// Nearest row of `cluster` to `query` by squared Euclidean distance.
+  /// Ties keep the earliest-added row. Out-of-range clusters are empty.
+  [[nodiscard]] Neighbor nearest(std::size_t cluster,
+                                 std::span<const float> query) const;
+
+  /// nearest() for every row of `queries` ([N * dim], row-major) against
+  /// its per-row cluster, parallelized over the global thread pool.
+  [[nodiscard]] std::vector<Neighbor> nearest_batch(
+      std::span<const float> queries,
+      std::span<const std::size_t> clusters) const;
+
+  [[nodiscard]] std::size_t dim() const { return dim_; }
+  /// Total rows across all clusters.
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t cluster_count() const { return clusters_.size(); }
+  [[nodiscard]] std::size_t cluster_size(std::size_t cluster) const;
+  [[nodiscard]] std::span<const store::DocId> cluster_ids(
+      std::size_t cluster) const;
+
+ private:
+  struct ClusterRows {
+    std::vector<float> rows;       ///< [n * dim_], row-major
+    std::vector<store::DocId> ids; ///< parallel to rows
+  };
+
+  std::size_t dim_ = 0;
+  std::vector<ClusterRows> clusters_;
+};
+
+}  // namespace fairdms::fairds

@@ -8,9 +8,7 @@
 namespace fairdms::store {
 
 std::size_t Collection::doc_bytes(const Value& doc) {
-  Binary buf;
-  doc.encode(buf);
-  return buf.size();
+  return doc.encoded_size();
 }
 
 DocId Collection::insert_one(Value doc) {
@@ -21,7 +19,7 @@ DocId Collection::insert_one(Value doc) {
   const std::size_t bytes = doc_bytes(doc);
   payload_bytes_ += bytes;
   index_insert_locked(id, doc);
-  docs_.emplace(id, std::move(doc));
+  docs_.emplace(id, StoredDoc{std::move(doc), bytes});
   lock.unlock();
   charge(bytes + 64);  // request envelope
   return id;
@@ -37,9 +35,10 @@ std::vector<DocId> Collection::insert_many(std::vector<Value> docs) {
       FAIRDMS_CHECK(doc.is_object(), "insert_many: document must be object");
       const DocId id = next_id_++;
       doc.as_object()["_id"] = Value(static_cast<std::int64_t>(id));
-      total_bytes += doc_bytes(doc);
+      const std::size_t bytes = doc_bytes(doc);
+      total_bytes += bytes;
       index_insert_locked(id, doc);
-      docs_.emplace(id, std::move(doc));
+      docs_.emplace(id, StoredDoc{std::move(doc), bytes});
       ids.push_back(id);
     }
     payload_bytes_ += total_bytes;
@@ -55,11 +54,40 @@ std::optional<Value> Collection::find_by_id(DocId id) const {
     std::shared_lock lock(mutex_);
     auto it = docs_.find(id);
     if (it != docs_.end()) {
-      out = it->second;
-      bytes += doc_bytes(it->second);
+      out = it->second.doc;
+      bytes += it->second.bytes;
     }
   }
   charge(bytes);
+  return out;
+}
+
+std::vector<std::optional<Value>> Collection::find_many(
+    std::span<const DocId> ids, std::span<const std::string> fields) const {
+  std::vector<std::optional<Value>> out(ids.size());
+  std::size_t bytes = 64;
+  {
+    std::shared_lock lock(mutex_);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      auto it = docs_.find(ids[i]);
+      if (it == docs_.end()) continue;
+      if (fields.empty()) {
+        out[i] = it->second.doc;
+        bytes += it->second.bytes;
+        continue;
+      }
+      Object projected;
+      const Object& src = it->second.doc.as_object();
+      for (const std::string& field : fields) {
+        auto fit = src.find(field);
+        if (fit == src.end()) continue;
+        bytes += 8 + field.size() + fit->second.encoded_size();
+        projected.emplace(field, fit->second);
+      }
+      out[i] = Value(std::move(projected));
+    }
+  }
+  charge(bytes);  // one batched round trip for the whole id list
   return out;
 }
 
@@ -71,13 +99,14 @@ bool Collection::replace_one(DocId id, Value doc) {
     std::unique_lock lock(mutex_);
     auto it = docs_.find(id);
     if (it != docs_.end()) {
-      index_remove_locked(id, it->second);
-      payload_bytes_ -= doc_bytes(it->second);
+      index_remove_locked(id, it->second.doc);
+      payload_bytes_ -= it->second.bytes;
       doc.as_object()["_id"] = Value(static_cast<std::int64_t>(id));
-      bytes += doc_bytes(doc);
-      payload_bytes_ += doc_bytes(doc);
+      const std::size_t new_bytes = doc_bytes(doc);
+      bytes += new_bytes;
+      payload_bytes_ += new_bytes;
       index_insert_locked(id, doc);
-      it->second = std::move(doc);
+      it->second = StoredDoc{std::move(doc), new_bytes};
       found = true;
     }
   }
@@ -85,21 +114,63 @@ bool Collection::replace_one(DocId id, Value doc) {
   return found;
 }
 
+std::size_t Collection::update_fields_locked(DocId id, Object&& fields,
+                                             bool& found) {
+  std::size_t value_bytes = 0;
+  for (const auto& [field, value] : fields) {
+    value_bytes += 8 + field.size() + value.encoded_size();
+  }
+  auto it = docs_.find(id);
+  if (it == docs_.end()) {
+    found = false;
+    return value_bytes;
+  }
+  index_remove_locked(id, it->second.doc);
+  Object& obj = it->second.doc.as_object();
+  for (auto& [field, value] : fields) {
+    obj[field] = std::move(value);
+  }
+  const std::size_t new_bytes = doc_bytes(it->second.doc);
+  payload_bytes_ += new_bytes;
+  payload_bytes_ -= it->second.bytes;
+  it->second.bytes = new_bytes;
+  index_insert_locked(id, it->second.doc);
+  found = true;
+  return value_bytes;
+}
+
 bool Collection::update_field(DocId id, const std::string& field,
                               Value value) {
+  Object fields;
+  fields.emplace(field, std::move(value));
+  return update_fields(id, std::move(fields));
+}
+
+bool Collection::update_fields(DocId id, Object fields) {
   bool found = false;
+  std::size_t value_bytes = 0;
   {
     std::unique_lock lock(mutex_);
-    auto it = docs_.find(id);
-    if (it != docs_.end()) {
-      index_remove_locked(id, it->second);
-      it->second.as_object()[field] = std::move(value);
-      index_insert_locked(id, it->second);
-      found = true;
+    value_bytes = update_fields_locked(id, std::move(fields), found);
+  }
+  charge(64 + value_bytes);
+  return found;
+}
+
+std::size_t Collection::update_many(
+    std::vector<std::pair<DocId, Object>> updates) {
+  std::size_t updated = 0;
+  std::size_t value_bytes = 0;
+  {
+    std::unique_lock lock(mutex_);
+    for (auto& [id, fields] : updates) {
+      bool found = false;
+      value_bytes += update_fields_locked(id, std::move(fields), found);
+      if (found) ++updated;
     }
   }
-  charge(128);
-  return found;
+  charge(64 + value_bytes);  // one batched round trip
+  return updated;
 }
 
 bool Collection::remove_one(DocId id) {
@@ -108,8 +179,8 @@ bool Collection::remove_one(DocId id) {
     std::unique_lock lock(mutex_);
     auto it = docs_.find(id);
     if (it != docs_.end()) {
-      index_remove_locked(id, it->second);
-      payload_bytes_ -= doc_bytes(it->second);
+      index_remove_locked(id, it->second.doc);
+      payload_bytes_ -= it->second.bytes;
       docs_.erase(it);
       found = true;
     }
@@ -122,8 +193,8 @@ void Collection::create_index(const std::string& field) {
   std::unique_lock lock(mutex_);
   if (indexes_.count(field) > 0) return;
   auto& index = indexes_[field];
-  for (const auto& [id, doc] : docs_) {
-    if (doc.contains(field)) index[doc.at(field)].push_back(id);
+  for (const auto& [id, stored] : docs_) {
+    if (stored.doc.contains(field)) index[stored.doc.at(field)].push_back(id);
   }
 }
 
@@ -142,8 +213,10 @@ std::vector<DocId> Collection::find_eq(const std::string& field,
       auto it = idx->second.find(value);
       if (it != idx->second.end()) out = it->second;
     } else {
-      for (const auto& [id, doc] : docs_) {
-        if (doc.contains(field) && doc.at(field) == value) out.push_back(id);
+      for (const auto& [id, stored] : docs_) {
+        if (stored.doc.contains(field) && stored.doc.at(field) == value) {
+          out.push_back(id);
+        }
       }
       std::sort(out.begin(), out.end());
     }
@@ -165,9 +238,9 @@ std::vector<DocId> Collection::find_range(const std::string& field,
         out.insert(out.end(), it->second.begin(), it->second.end());
       }
     } else {
-      for (const auto& [id, doc] : docs_) {
-        if (!doc.contains(field)) continue;
-        const Value& v = doc.at(field);
+      for (const auto& [id, stored] : docs_) {
+        if (!stored.doc.contains(field)) continue;
+        const Value& v = stored.doc.at(field);
         if (!(v < lo) && v < hi) out.push_back(id);
       }
       std::sort(out.begin(), out.end());
@@ -180,7 +253,19 @@ std::vector<DocId> Collection::find_range(const std::string& field,
 void Collection::scan(
     const std::function<void(DocId, const Value&)>& fn) const {
   std::shared_lock lock(mutex_);
-  for (const auto& [id, doc] : docs_) fn(id, doc);
+  for (const auto& [id, stored] : docs_) fn(id, stored.doc);
+}
+
+std::vector<DocId> Collection::all_ids() const {
+  std::vector<DocId> out;
+  {
+    std::shared_lock lock(mutex_);
+    out.reserve(docs_.size());
+    for (const auto& [id, _] : docs_) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  charge(64 + out.size() * 8);
+  return out;
 }
 
 std::size_t Collection::size() const {
@@ -216,9 +301,10 @@ void Collection::restore(DocId next_id,
   for (auto& [id, doc] : documents) {
     FAIRDMS_CHECK(doc.is_object(), "restore: document must be an object");
     FAIRDMS_CHECK(id < next_id, "restore: id ", id, " >= next_id ", next_id);
-    payload_bytes_ += doc_bytes(doc);
+    const std::size_t bytes = doc_bytes(doc);
+    payload_bytes_ += bytes;
     index_insert_locked(id, doc);
-    docs_.emplace(id, std::move(doc));
+    docs_.emplace(id, StoredDoc{std::move(doc), bytes});
   }
 }
 

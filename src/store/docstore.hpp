@@ -14,8 +14,10 @@
 #include <memory>
 #include <optional>
 #include <shared_mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "store/document.hpp"
@@ -42,10 +44,27 @@ class Collection {
   /// Fetches a document copy by id.
   [[nodiscard]] std::optional<Value> find_by_id(DocId id) const;
 
+  /// Batched fetch: one shared lock and one batched round-trip charge for
+  /// the whole id list. `out[i]` is nullopt when `ids[i]` is absent. When
+  /// `fields` is non-empty only those fields are copied out (documents
+  /// missing a projected field simply omit it) and only their bytes are
+  /// charged — the "fetch many members, but only the columns you need"
+  /// path the reuse workload hits.
+  [[nodiscard]] std::vector<std::optional<Value>> find_many(
+      std::span<const DocId> ids,
+      std::span<const std::string> fields = {}) const;
+
   /// Replaces document `id`; returns false if absent.
   bool replace_one(DocId id, Value doc);
   /// Sets a single field on document `id`; returns false if absent.
+  /// Charges the encoded value size (plus envelope), not a flat constant.
   bool update_field(DocId id, const std::string& field, Value value);
+  /// Sets several fields on document `id` under one lock with one charge.
+  bool update_fields(DocId id, Object fields);
+  /// Applies many per-document field updates under one exclusive lock and
+  /// one batched round-trip charge (the retrain re-assignment pass).
+  /// Returns the number of documents found and updated.
+  std::size_t update_many(std::vector<std::pair<DocId, Object>> updates);
   bool remove_one(DocId id);
 
   /// Secondary index on a scalar field. Indexes are maintained on every
@@ -65,6 +84,10 @@ class Collection {
   /// Applies fn to every (id, doc) under a shared lock.
   void scan(const std::function<void(DocId, const Value&)>& fn) const;
 
+  /// All document ids, ascending. One shared lock, charged like an index
+  /// scan (ids only, not payloads).
+  [[nodiscard]] std::vector<DocId> all_ids() const;
+
   [[nodiscard]] std::size_t size() const;
 
   /// Approximate resident bytes (document payloads only).
@@ -80,8 +103,20 @@ class Collection {
                std::vector<std::pair<DocId, Value>> documents);
 
  private:
+  /// A stored document plus its cached encoded size, so every read charges
+  /// real bytes without re-serializing the (often multi-KB) payload.
+  struct StoredDoc {
+    Value doc;
+    std::size_t bytes = 0;
+  };
+
   void index_insert_locked(DocId id, const Value& doc);
   void index_remove_locked(DocId id, const Value& doc);
+  /// Applies `fields` to an existing document under the exclusive lock,
+  /// maintaining indexes, the cached size, and payload_bytes_. Returns the
+  /// encoded request-payload bytes to charge — the values travel to the
+  /// server whether or not the document exists, so absent ids charge too.
+  std::size_t update_fields_locked(DocId id, Object&& fields, bool& found);
   void charge(std::size_t bytes) const {
     if (link_ != nullptr) link_->charge(bytes);
   }
@@ -91,7 +126,7 @@ class Collection {
   const RemoteLink* link_;
   mutable std::shared_mutex mutex_;
   DocId next_id_ = 1;
-  std::unordered_map<DocId, Value> docs_;
+  std::unordered_map<DocId, StoredDoc> docs_;
   std::size_t payload_bytes_ = 0;
   /// field -> (value -> ids); std::map keys give ordered range scans.
   std::unordered_map<std::string, std::map<Value, std::vector<DocId>>>

@@ -176,6 +176,26 @@ void Value::encode(Binary& out) const {
   }
 }
 
+std::size_t Value::encoded_size() const {
+  // Mirrors encode(): 1 tag byte, then the payload (u64 lengths/values are 8
+  // bytes each). Keep the two in lockstep.
+  if (is_null()) return 1;
+  if (is_bool()) return 2;
+  if (is_int() || is_double()) return 1 + 8;
+  if (is_string()) return 1 + 8 + as_string().size();
+  if (is_binary()) return 1 + 8 + as_binary().size();
+  if (is_array()) {
+    std::size_t total = 1 + 8;
+    for (const Value& v : as_array()) total += v.encoded_size();
+    return total;
+  }
+  std::size_t total = 1 + 8;
+  for (const auto& [k, v] : as_object()) {
+    total += 8 + k.size() + v.encoded_size();
+  }
+  return total;
+}
+
 Value Value::decode(const Binary& in, std::size_t& pos) {
   FAIRDMS_CHECK(pos < in.size(), "document decode: truncated tag");
   const auto tag = static_cast<Tag>(in[pos++]);

@@ -6,6 +6,7 @@
 // text for debugging.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -84,6 +85,11 @@ class Value {
 
   /// Compact tagged binary serialization.
   void encode(Binary& out) const;
+  /// Exact byte count encode() would produce, without materializing the
+  /// buffer. O(1) per scalar/string/binary node — the store uses this to
+  /// account payload sizes on every read/write without re-serializing
+  /// multi-kilobyte documents.
+  [[nodiscard]] std::size_t encoded_size() const;
   static Value decode(const Binary& in, std::size_t& pos);
   static Value decode(const Binary& in);
 

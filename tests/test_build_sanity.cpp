@@ -12,6 +12,7 @@
 #include "datagen/pseudo_voigt.hpp"
 #include "embed/augment.hpp"
 #include "fairds/pixel_baseline.hpp"
+#include "fairds/reuse_index.hpp"
 #include "fairms/jsd.hpp"
 #include "labeling/frame_label.hpp"
 #include "models/models.hpp"
@@ -62,6 +63,8 @@ TEST(BuildSanity, EmbedModuleLinks) {
 TEST(BuildSanity, FairdsModuleLinks) {
   fairdms::fairds::PixelNnBaseline baseline(4);
   EXPECT_EQ(baseline.stored_count(), 0u);
+  fairdms::fairds::ReuseIndex index(4);
+  EXPECT_EQ(index.size(), 0u);
 }
 
 TEST(BuildSanity, FairmsModuleLinks) {

@@ -1,0 +1,174 @@
+// ReuseIndex unit tests: per-cluster SoA bookkeeping, nearest-neighbor
+// correctness against a brute-force reference (with the partial-pruning
+// path exercised), batch/single agreement, and edge cases (empty index,
+// empty cluster, out-of-range cluster, single-member cluster).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "fairds/reuse_index.hpp"
+#include "util/rng.hpp"
+
+namespace fairdms {
+namespace {
+
+using fairds::ReuseIndex;
+
+/// Brute-force nearest row, replicating the accumulation order the index
+/// uses (sequential over dimensions, doubles) so distances compare exactly.
+ReuseIndex::Neighbor brute_force(
+    const std::vector<std::vector<float>>& rows,
+    const std::vector<store::DocId>& ids, const std::vector<float>& query) {
+  ReuseIndex::Neighbor best;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    double d = 0.0;
+    for (std::size_t j = 0; j < query.size(); ++j) {
+      const double diff = static_cast<double>(query[j]) -
+                          static_cast<double>(rows[r][j]);
+      d += diff * diff;
+    }
+    if (d < best.dist2) {
+      best.dist2 = d;
+      best.id = ids[r];
+    }
+  }
+  return best;
+}
+
+std::vector<float> random_row(util::Rng& rng, std::size_t dim) {
+  std::vector<float> row(dim);
+  for (auto& v : row) v = static_cast<float>(rng.gaussian(0.0, 1.0));
+  return row;
+}
+
+TEST(ReuseIndex, StartsEmptyAndResets) {
+  ReuseIndex index(4);
+  EXPECT_EQ(index.dim(), 4u);
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_EQ(index.cluster_count(), 0u);
+
+  index.add(2, 7, std::vector<float>{1, 2, 3, 4});
+  EXPECT_EQ(index.size(), 1u);
+  EXPECT_EQ(index.cluster_count(), 3u);  // grown on demand
+  EXPECT_EQ(index.cluster_size(2), 1u);
+  EXPECT_EQ(index.cluster_size(0), 0u);
+  EXPECT_EQ(index.cluster_size(99), 0u);
+
+  index.reset(6);
+  EXPECT_EQ(index.dim(), 6u);
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_EQ(index.cluster_count(), 0u);
+}
+
+TEST(ReuseIndex, EmptyOrMissingClusterReturnsNotFound) {
+  ReuseIndex index(3);
+  const std::vector<float> q{0.0f, 0.0f, 0.0f};
+  EXPECT_FALSE(index.nearest(0, q).found());
+
+  index.add(1, 5, std::vector<float>{1, 1, 1});
+  EXPECT_FALSE(index.nearest(0, q).found());   // existing but empty cluster
+  EXPECT_FALSE(index.nearest(42, q).found());  // beyond cluster_count
+  EXPECT_TRUE(index.nearest(1, q).found());
+}
+
+TEST(ReuseIndex, SingleMemberClusterAlwaysWins) {
+  ReuseIndex index(2);
+  index.add(0, 9, std::vector<float>{3.0f, -4.0f});
+  const auto nb = index.nearest(0, std::vector<float>{0.0f, 0.0f});
+  ASSERT_TRUE(nb.found());
+  EXPECT_EQ(nb.id, 9u);
+  EXPECT_DOUBLE_EQ(nb.dist2, 25.0);
+}
+
+TEST(ReuseIndex, NearestMatchesBruteForce) {
+  // dim 19 is deliberately not a multiple of the pruning block so the tail
+  // path runs; 200 rows per cluster gives the pruner plenty to abandon.
+  constexpr std::size_t kDim = 19;
+  constexpr std::size_t kClusters = 5;
+  constexpr std::size_t kRows = 200;
+  util::Rng rng(1234);
+
+  ReuseIndex index(kDim);
+  std::vector<std::vector<std::vector<float>>> rows(kClusters);
+  std::vector<std::vector<store::DocId>> ids(kClusters);
+  store::DocId next_id = 1;
+  for (std::size_t c = 0; c < kClusters; ++c) {
+    for (std::size_t r = 0; r < kRows; ++r) {
+      rows[c].push_back(random_row(rng, kDim));
+      ids[c].push_back(next_id);
+      index.add(c, next_id, rows[c].back());
+      ++next_id;
+    }
+  }
+
+  for (int trial = 0; trial < 64; ++trial) {
+    const auto c = rng.uniform_index(kClusters);
+    const auto query = random_row(rng, kDim);
+    const auto got = index.nearest(c, query);
+    const auto want = brute_force(rows[c], ids[c], query);
+    ASSERT_TRUE(got.found());
+    EXPECT_EQ(got.id, want.id) << "cluster " << c << " trial " << trial;
+    EXPECT_DOUBLE_EQ(got.dist2, want.dist2);
+  }
+
+  // A query equal to a stored row must find that exact row at distance 0.
+  const auto exact = index.nearest(3, rows[3][17]);
+  EXPECT_EQ(exact.id, ids[3][17]);
+  EXPECT_DOUBLE_EQ(exact.dist2, 0.0);
+}
+
+TEST(ReuseIndex, BatchAgreesWithSingleQueries) {
+  constexpr std::size_t kDim = 8;
+  util::Rng rng(99);
+  ReuseIndex index(kDim);
+  for (std::size_t c = 0; c < 4; ++c) {
+    for (std::size_t r = 0; r < 50; ++r) {
+      index.add(c, c * 50 + r + 1, random_row(rng, kDim));
+    }
+  }
+
+  constexpr std::size_t kQueries = 37;
+  std::vector<float> queries(kQueries * kDim);
+  std::vector<std::size_t> clusters(kQueries);
+  for (std::size_t i = 0; i < kQueries; ++i) {
+    const auto row = random_row(rng, kDim);
+    std::copy(row.begin(), row.end(), queries.begin() + i * kDim);
+    clusters[i] = rng.uniform_index(5);  // includes an empty cluster id 4
+  }
+
+  const auto batch = index.nearest_batch(queries, clusters);
+  ASSERT_EQ(batch.size(), kQueries);
+  for (std::size_t i = 0; i < kQueries; ++i) {
+    const auto single = index.nearest(
+        clusters[i], std::span<const float>{queries.data() + i * kDim, kDim});
+    EXPECT_EQ(batch[i].id, single.id) << "query " << i;
+    EXPECT_EQ(batch[i].found(), single.found());
+    if (single.found()) {
+      EXPECT_DOUBLE_EQ(batch[i].dist2, single.dist2);
+    }
+  }
+}
+
+TEST(ReuseIndex, TiesKeepEarliestAddedRow) {
+  ReuseIndex index(2);
+  const std::vector<float> same{1.0f, 2.0f};
+  index.add(0, 11, same);
+  index.add(0, 22, same);
+  const auto nb = index.nearest(0, same);
+  EXPECT_EQ(nb.id, 11u);
+  EXPECT_DOUBLE_EQ(nb.dist2, 0.0);
+}
+
+TEST(ReuseIndexDeathTest, MisusedDimensionsAbort) {
+  ReuseIndex index(3);
+  EXPECT_DEATH(index.add(0, 1, std::vector<float>{1.0f}), "dims");
+  index.add(0, 1, std::vector<float>{1, 2, 3});
+  EXPECT_DEATH((void)index.nearest(0, std::vector<float>{1.0f, 2.0f}),
+               "dims");
+  EXPECT_DEATH(index.add(0, 0, std::vector<float>{1, 2, 3}), "sentinel");
+}
+
+}  // namespace
+}  // namespace fairdms
