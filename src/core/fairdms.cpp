@@ -12,7 +12,12 @@ FairDMS::FairDMS(FairDMSConfig config, fairds::FairDS& data_service,
     : config_(std::move(config)),
       ds_(&data_service),
       zoo_(db),
-      manager_(zoo_, config_.distance_threshold) {}
+      manager_(zoo_, config_.distance_threshold),
+      // The update workflow submits one request at a time, so two workers
+      // suffice; background retrain stays an explicit caller decision here.
+      service_(data_service,
+               service::DataServiceConfig{.workers = 2, .auto_retrain = false},
+               &manager_) {}
 
 double FairDMS::charge_transfer(const std::string& src, const std::string& dst,
                                 std::uint64_t bytes) const {
@@ -67,7 +72,11 @@ UpdateReport FairDMS::update_model(
       train.xs = new_xs;
       train.ys = conventional_labeler(new_xs);
     } else {
-      train = ds_->lookup(new_xs, config_.seed + update_counter_);
+      train = service_
+                  .submit(service::LookupRequest{
+                      new_xs, config_.seed + update_counter_})
+                  .get()
+                  .batch;
     }
     report.label_seconds = timer.seconds();
   }
@@ -81,15 +90,17 @@ UpdateReport FairDMS::update_model(
   double lr = config_.scratch_lr;
   if (strategy == UpdateStrategy::kFairDMS) {
     util::WallTimer timer;
-    const auto pdf = ds_->distribution(new_xs);
-    const auto pick = manager_.recommend(config_.architecture, pdf);
+    const auto recommendation =
+        service_.submit(service::RecommendRequest{config_.architecture,
+                                                  new_xs})
+            .get();
     report.recommend_seconds = timer.seconds();
-    if (pick.has_value()) {
-      const auto record = zoo_.fetch(pick->model_id);
+    if (recommendation.pick.has_value()) {
+      const auto record = zoo_.fetch(recommendation.pick->model_id);
       FAIRDMS_CHECK(record.has_value(), "recommended model vanished");
       nn::load_parameters(model.net, record->parameters);
       report.fine_tuned = true;
-      report.foundation_distance = pick->distance;
+      report.foundation_distance = recommendation.pick->distance;
       lr = config_.fine_tune_lr;
     }
     // No model within threshold => fall through to training from scratch

@@ -20,6 +20,7 @@
 #include "fairms/zoo.hpp"
 #include "models/models.hpp"
 #include "nn/trainer.hpp"
+#include "service/data_service.hpp"
 #include "workflow/transfer.hpp"
 
 namespace fairdms::core {
@@ -65,6 +66,9 @@ class FairDMS {
   [[nodiscard]] fairds::FairDS& data_service() { return *ds_; }
   [[nodiscard]] fairms::ModelZoo& zoo() { return zoo_; }
   [[nodiscard]] fairms::ModelManager& manager() { return manager_; }
+  /// The serving facade the update workflow submits its user-plane
+  /// requests through; also available to callers for direct async use.
+  [[nodiscard]] service::DataService& service() { return service_; }
   [[nodiscard]] const FairDMSConfig& config() const { return config_; }
 
   /// Trains `model` on `train`, publishes it with the training data's
@@ -95,6 +99,7 @@ class FairDMS {
   fairds::FairDS* ds_;
   fairms::ModelZoo zoo_;
   fairms::ModelManager manager_;
+  service::DataService service_;
   std::uint64_t update_counter_ = 0;
 };
 

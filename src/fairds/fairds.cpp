@@ -2,42 +2,21 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <utility>
 
-#include "store/codec.hpp"
+#include "cluster/fuzzy.hpp"
+#include "fairds/field_codec.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
 
 namespace fairdms::fairds {
 
-namespace {
-
-store::Binary encode_floats(std::span<const float> values) {
-  static const store::RawCodec codec;
-  return codec.encode(values);
-}
-
-std::vector<float> decode_floats(const store::Binary& bytes) {
-  static const store::RawCodec codec;
-  std::vector<float> out;
-  codec.decode(bytes, out);
-  return out;
-}
-
-/// Projection for sample fetches: the image/label pair, nothing else.
-const std::vector<std::string> kXYFields = {"x", "y"};
-
-}  // namespace
-
 FairDS::FairDS(FairDSConfig config, store::DocStore& db)
     : config_(std::move(config)),
       db_(&db),
-      samples_(&db.collection(config_.collection)),
-      rng_(config_.seed) {
+      samples_(&db.collection(config_.collection)) {
   samples_->create_index("cluster");
   samples_->create_index("dataset_id");
 }
@@ -47,11 +26,14 @@ void FairDS::train_system_impl(const Tensor& xs, std::uint64_t seed) {
                     xs.dim(3) == config_.image_size,
                 "FairDS: expected [N,1,", config_.image_size, ",",
                 config_.image_size, "], got ", xs.shape_str());
-  embedder_ = embed::make_embedder(config_.embedding_algorithm,
-                                   config_.image_size, config_.embedding_dim,
-                                   seed);
-  embedder_->fit(xs, config_.embed_train);
-  const Tensor embeddings = embedder_->embed(xs);
+  // A fresh embedder every time: published snapshots share the previous one
+  // and must keep serving it unchanged while this trains.
+  std::shared_ptr<embed::Embedder> next(
+      embed::make_embedder(config_.embedding_algorithm, config_.image_size,
+                           config_.embedding_dim, seed));
+  next->fit(xs, config_.embed_train);
+  const Tensor embeddings = next->embed(xs);
+  embedder_ = std::move(next);
 
   std::size_t k = config_.n_clusters;
   if (k == 0) {
@@ -67,13 +49,38 @@ void FairDS::train_system_impl(const Tensor& xs, std::uint64_t seed) {
   kmeans_ = cluster::kmeans_fit(embeddings, kc);
 }
 
+void FairDS::publish_snapshot_locked() {
+  // The copy shares the master index's per-cluster blocks; marking them
+  // shared first makes later master mutations clone instead of writing in
+  // place, so the published snapshot's readers never observe a change.
+  reuse_index_.mark_shared();
+  auto snap = std::make_shared<const Snapshot>(
+      config_, embedder_, *kmeans_,
+      std::make_shared<const ReuseIndex>(reuse_index_), label_width_,
+      samples_, ++version_);
+  snapshot_.store(std::move(snap));
+}
+
+std::shared_ptr<const Snapshot> FairDS::snapshot() const {
+  return snapshot_.load();
+}
+
+std::shared_ptr<const Snapshot> FairDS::require_snapshot(
+    const char* what) const {
+  auto snap = snapshot_.load();
+  FAIRDMS_CHECK(snap != nullptr, "FairDS::", what, " before train_system");
+  return snap;
+}
+
 void FairDS::train_system(const Tensor& historical_xs) {
+  std::scoped_lock lock(system_mutex_);
   train_system_impl(historical_xs, config_.seed);
   // If the collection already holds samples (re-training over an existing
   // history, or a FairDS constructed over a restored snapshot), mirror
   // their stored cluster/embedding fields into the reuse index; those
   // fields stay authoritative until maybe_retrain re-assigns them.
   rebuild_index_from_store();
+  publish_snapshot_locked();
 }
 
 void FairDS::rebuild_index_from_store() {
@@ -113,7 +120,8 @@ void FairDS::rebuild_index_from_store() {
 
 void FairDS::ingest(const Tensor& xs, const Tensor& ys,
                     const std::string& dataset_id) {
-  FAIRDMS_CHECK(trained(), "FairDS::ingest before train_system");
+  std::scoped_lock lock(system_mutex_);
+  FAIRDMS_CHECK(embedder_ != nullptr, "FairDS::ingest before train_system");
   FAIRDMS_CHECK(xs.rank() == 4 && ys.rank() >= 1 && xs.dim(0) == ys.dim(0),
                 "FairDS::ingest: xs/ys mismatch");
   const std::size_t n = xs.dim(0);
@@ -142,10 +150,11 @@ void FairDS::ingest(const Tensor& xs, const Tensor& ys,
   }
   const std::vector<store::DocId> ids = samples_->insert_many(std::move(docs));
 
-  // Mirror the new rows into the reuse index incrementally — ingest already
-  // has the embeddings and assignments in hand. train_system/maybe_retrain
-  // always reset the index to the configured width before ingest can run;
-  // a mismatch here would mean index and store have desynchronized.
+  // Mirror the new rows into the master reuse index incrementally — ingest
+  // already has the embeddings and assignments in hand; published snapshots
+  // keep their own immutable copies. train_system/maybe_retrain always
+  // reset the index to the configured width before ingest can run; a
+  // mismatch here would mean index and store have desynchronized.
   FAIRDMS_CHECK(reuse_index_.dim() == config_.embedding_dim,
                 "FairDS::ingest: reuse index width ", reuse_index_.dim(),
                 " != configured embedding dim ", config_.embedding_dim);
@@ -154,22 +163,28 @@ void FairDS::ingest(const Tensor& xs, const Tensor& ys,
                      {embeddings.data() + i * config_.embedding_dim,
                       config_.embedding_dim});
   }
-  if (label_width_.load(std::memory_order_relaxed) == 0) {
-    label_width_.store(label_w, std::memory_order_relaxed);
-  }
+  if (label_width_ == 0) label_width_ = label_w;
+  publish_snapshot_locked();
 }
 
-double FairDS::certainty(const Tensor& xs) const {
-  FAIRDMS_CHECK(trained(), "FairDS::certainty before train_system");
+double FairDS::certainty_locked(const Tensor& xs) const {
+  FAIRDMS_CHECK(embedder_ != nullptr,
+                "FairDS::certainty before train_system");
   const Tensor embeddings = embedder_->embed(xs);
   cluster::FuzzyConfig fuzzy;
   fuzzy.fuzziness = config_.fuzziness;
   return cluster::dataset_certainty(*kmeans_, embeddings, fuzzy);
 }
 
+double FairDS::certainty(const Tensor& xs) const {
+  return require_snapshot("certainty")->certainty(xs);
+}
+
 bool FairDS::maybe_retrain(const Tensor& new_xs) {
-  FAIRDMS_CHECK(trained(), "FairDS::maybe_retrain before train_system");
-  const double c = certainty(new_xs);
+  std::scoped_lock lock(system_mutex_);
+  FAIRDMS_CHECK(embedder_ != nullptr,
+                "FairDS::maybe_retrain before train_system");
+  const double c = certainty_locked(new_xs);
   if (c >= config_.certainty_threshold) return false;
   util::log_info("fairDS retrain triggered (certainty ",
                  static_cast<int>(c * 100.0), "% < ",
@@ -179,7 +194,8 @@ bool FairDS::maybe_retrain(const Tensor& new_xs) {
   // Retrain the system plane on history + the new data, then re-assign the
   // stored samples under the refreshed embedding/clustering. One batched
   // projected read pulls every stored image; retraining inputs and the
-  // re-assignment pass share it.
+  // re-assignment pass share it. Concurrent queries keep running on the
+  // previously published snapshot for the duration.
   const std::vector<store::DocId> ids = samples_->all_ids();
   const Tensor history = images_for(ids);
   Tensor combined;
@@ -193,8 +209,9 @@ bool FairDS::maybe_retrain(const Tensor& new_xs) {
     std::copy_n(new_xs.data(), new_xs.numel(),
                 combined.data() + history.dim(0) * pixels);
   }
-  ++retrains_;
-  train_system_impl(combined, config_.seed + retrains_);
+  const std::size_t retrain_no =
+      retrains_.fetch_add(1, std::memory_order_relaxed) + 1;
+  train_system_impl(combined, config_.seed + retrain_no);
 
   // Re-embed all stored images in one batch, re-assign them in one batched
   // update pass, and rebuild the reuse index from the fresh embeddings
@@ -218,231 +235,43 @@ bool FairDS::maybe_retrain(const Tensor& new_xs) {
     }
     samples_->update_many(std::move(updates));
   }
+  publish_snapshot_locked();
   return true;
 }
 
 Tensor FairDS::embed(const Tensor& xs) const {
-  FAIRDMS_CHECK(trained(), "FairDS::embed before train_system");
-  return embedder_->embed(xs);
+  return require_snapshot("embed")->embed(xs);
 }
 
 std::vector<double> FairDS::distribution(const Tensor& xs) const {
-  FAIRDMS_CHECK(trained(), "FairDS::distribution before train_system");
-  const Tensor embeddings = embedder_->embed(xs);
-  return kmeans_->cluster_pdf(embeddings);
-}
-
-std::size_t FairDS::label_width() const {
-  std::size_t width = label_width_.load(std::memory_order_relaxed);
-  if (width != 0) return width;
-  // Unknown width (e.g. FairDS built over an existing collection): derive
-  // it from any stored sample once and cache it. Racing readers compute
-  // the same value, so a plain atomic store publishes it safely.
-  samples_->scan([&](store::DocId, const store::Value& doc) {
-    if (width == 0) {
-      width = decode_floats(doc.at("y").as_binary()).size();
-    }
-  });
-  FAIRDMS_CHECK(width > 0, "FairDS: no stored samples to infer label width");
-  label_width_.store(width, std::memory_order_relaxed);
-  return width;
-}
-
-nn::Batchset FairDS::fetch_samples(
-    const std::vector<store::DocId>& ids) const {
-  FAIRDMS_CHECK(!ids.empty(), "FairDS::fetch_samples: empty id list");
-  const std::size_t pixels = config_.image_size * config_.image_size;
-  const auto docs = samples_->find_many(ids, kXYFields);
-  nn::Batchset out;
-  bool first = true;
-  std::size_t label_w = 0;
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    FAIRDMS_CHECK(docs[i].has_value(), "FairDS: stored sample vanished");
-    const auto x = decode_floats(docs[i]->at("x").as_binary());
-    const auto y = decode_floats(docs[i]->at("y").as_binary());
-    if (first) {
-      label_w = y.size();
-      out.xs = Tensor({ids.size(), 1, config_.image_size, config_.image_size});
-      out.ys = Tensor({ids.size(), label_w});
-      first = false;
-    }
-    FAIRDMS_CHECK(x.size() == pixels && y.size() == label_w,
-                  "FairDS: inconsistent stored sample shapes");
-    std::copy(x.begin(), x.end(), out.xs.data() + i * pixels);
-    std::copy(y.begin(), y.end(), out.ys.data() + i * label_w);
-  }
-  return out;
+  return require_snapshot("distribution")->distribution(xs);
 }
 
 nn::Batchset FairDS::lookup(const Tensor& xs, std::uint64_t seed) const {
-  FAIRDMS_CHECK(trained(), "FairDS::lookup before train_system");
-  FAIRDMS_CHECK(stored_count() > 0, "FairDS::lookup on empty store");
-  const std::size_t n = xs.dim(0);
-  const std::vector<double> pdf = distribution(xs);
-  util::Rng rng(seed);
-
-  // Integer per-cluster counts that sum to n (largest remainders).
-  const std::size_t k = pdf.size();
-  std::vector<std::size_t> want(k, 0);
-  std::vector<std::pair<double, std::size_t>> remainders;
-  std::size_t assigned = 0;
-  for (std::size_t c = 0; c < k; ++c) {
-    const double exact = pdf[c] * static_cast<double>(n);
-    want[c] = static_cast<std::size_t>(exact);
-    assigned += want[c];
-    remainders.emplace_back(exact - std::floor(exact), c);
-  }
-  std::sort(remainders.rbegin(), remainders.rend());
-  for (std::size_t i = 0; assigned < n && i < remainders.size(); ++i) {
-    ++want[remainders[i].second];
-    ++assigned;
-  }
-
-  // Draw randomly from each cluster's stored members (with replacement when
-  // a cluster is under-populated); clusters absent from history spill into
-  // the global pool.
-  std::vector<store::DocId> chosen;
-  chosen.reserve(n);
-  std::vector<store::DocId> global_pool;
-  for (std::size_t c = 0; c < k; ++c) {
-    if (want[c] == 0) continue;
-    const auto members = samples_->find_eq(
-        "cluster", store::Value(static_cast<std::int64_t>(c)));
-    if (members.empty()) {
-      if (global_pool.empty()) {
-        samples_->scan([&](store::DocId id, const store::Value&) {
-          global_pool.push_back(id);
-        });
-      }
-      for (std::size_t i = 0; i < want[c]; ++i) {
-        chosen.push_back(global_pool[rng.uniform_index(global_pool.size())]);
-      }
-      continue;
-    }
-    for (std::size_t i = 0; i < want[c]; ++i) {
-      chosen.push_back(members[rng.uniform_index(members.size())]);
-    }
-  }
-  return fetch_samples(chosen);
+  return require_snapshot("lookup")->lookup(xs, seed);
 }
 
 nn::Batchset FairDS::lookup_or_label(
     const Tensor& xs, double threshold,
     const std::function<Tensor(const Tensor&)>& fallback_labeler,
     ReuseStats* stats) const {
-  FAIRDMS_CHECK(trained(), "FairDS::lookup_or_label before train_system");
-  const std::size_t n = xs.dim(0);
-  const std::size_t pixels = config_.image_size * config_.image_size;
-  nn::Batchset out;
-  out.xs = xs;
-
-  // Cold start: with no stored history every sample routes to the fallback
-  // labeler and the label width comes from its output.
-  if (stored_count() == 0) {
-    const Tensor computed = fallback_labeler(xs);
-    FAIRDMS_CHECK(computed.rank() == 2 && computed.dim(0) == n,
-                  "fallback labeler returned wrong shape");
-    out.ys = computed;
-    if (stats != nullptr) stats->computed += n;
-    return out;
-  }
-
-  const Tensor embeddings = embedder_->embed(xs);
-  const auto assignments = kmeans_->assign_batch(embeddings);
-
-  // Two-level search: the k-means assignment picks the cluster, the reuse
-  // index finds the nearest stored member — dense floats only, parallel
-  // over query rows, no store traffic.
-  const auto neighbors = reuse_index_.nearest_batch(
-      {embeddings.data(), embeddings.numel()}, assignments);
-
-  out.ys = Tensor({n, label_width()});
-  const std::size_t label_w = out.ys.dim(1);
-
-  std::vector<std::size_t> reuse_rows;
-  std::vector<store::DocId> reuse_ids;
-  std::vector<std::size_t> fallback_rows;
-  for (std::size_t i = 0; i < n; ++i) {
-    const ReuseIndex::Neighbor& nb = neighbors[i];
-    if (nb.found() && std::sqrt(nb.dist2) < threshold) {
-      reuse_rows.push_back(i);
-      reuse_ids.push_back(nb.id);
-    } else {
-      fallback_rows.push_back(i);
-    }
-  }
-
-  if (!reuse_rows.empty()) {
-    // Paper §III-E: the reused entry is the *historical pair* {p, l(p)} —
-    // a consistent image/label pair from the store — not the new image
-    // with a borrowed label. One batched projected read fetches every
-    // *unique* winning pair (queries often share a nearest neighbor in
-    // small clusters; no point fetching and charging the same document
-    // once per query).
-    std::vector<store::DocId> unique_ids;
-    std::unordered_map<store::DocId, std::size_t> doc_slot;
-    std::vector<std::size_t> row_slot(reuse_rows.size());
-    for (std::size_t j = 0; j < reuse_rows.size(); ++j) {
-      const auto [it, inserted] =
-          doc_slot.try_emplace(reuse_ids[j], unique_ids.size());
-      if (inserted) unique_ids.push_back(reuse_ids[j]);
-      row_slot[j] = it->second;
-    }
-    const auto docs = samples_->find_many(unique_ids, kXYFields);
-    std::size_t reused = 0;
-    for (std::size_t j = 0; j < reuse_rows.size(); ++j) {
-      const std::size_t i = reuse_rows[j];
-      const auto& doc = docs[row_slot[j]];
-      if (!doc.has_value()) {
-        // The winning document was removed from the store after the index
-        // row was built; serve the query via the fallback labeler instead
-        // of failing the whole batch.
-        fallback_rows.push_back(i);
-        continue;
-      }
-      const auto x = decode_floats(doc->at("x").as_binary());
-      const auto y = decode_floats(doc->at("y").as_binary());
-      FAIRDMS_CHECK(y.size() == label_w, "stored label width mismatch");
-      FAIRDMS_CHECK(x.size() == pixels, "stored image size mismatch");
-      std::copy(x.begin(), x.end(), out.xs.data() + i * pixels);
-      std::copy(y.begin(), y.end(), out.ys.data() + i * label_w);
-      ++reused;
-    }
-    if (stats != nullptr) stats->reused += reused;
-    // Vanished-winner rows were appended out of order.
-    std::sort(fallback_rows.begin(), fallback_rows.end());
-  }
-
-  if (!fallback_rows.empty()) {
-    Tensor pending({fallback_rows.size(), 1, config_.image_size,
-                    config_.image_size});
-    for (std::size_t j = 0; j < fallback_rows.size(); ++j) {
-      std::copy_n(xs.data() + fallback_rows[j] * pixels, pixels,
-                  pending.data() + j * pixels);
-    }
-    const Tensor computed = fallback_labeler(pending);
-    FAIRDMS_CHECK(computed.rank() == 2 &&
-                      computed.dim(0) == fallback_rows.size() &&
-                      computed.dim(1) == label_w,
-                  "fallback labeler returned wrong shape");
-    for (std::size_t j = 0; j < fallback_rows.size(); ++j) {
-      std::copy_n(computed.data() + j * label_w, label_w,
-                  out.ys.data() + fallback_rows[j] * label_w);
-    }
-    if (stats != nullptr) stats->computed += fallback_rows.size();
-  }
-  return out;
+  return require_snapshot("lookup_or_label")
+      ->lookup_or_label(xs, threshold, fallback_labeler, stats);
 }
 
 const cluster::KMeansModel& FairDS::clusters() const {
-  FAIRDMS_CHECK(kmeans_.has_value(), "FairDS::clusters before train_system");
-  return *kmeans_;
+  return require_snapshot("clusters")->clusters();
+}
+
+const ReuseIndex& FairDS::reuse_index() const {
+  return require_snapshot("reuse_index")->reuse_index();
 }
 
 std::size_t FairDS::stored_count() const { return samples_->size(); }
 
 std::size_t FairDS::n_clusters() const {
-  return kmeans_.has_value() ? kmeans_->k() : 0;
+  auto snap = snapshot_.load();
+  return snap == nullptr ? 0 : snap->n_clusters();
 }
 
 Tensor FairDS::images_for(const std::vector<store::DocId>& ids) const {
@@ -459,7 +288,5 @@ Tensor FairDS::images_for(const std::vector<store::DocId>& ids) const {
   }
   return out;
 }
-
-Tensor FairDS::stored_images() const { return images_for(samples_->all_ids()); }
 
 }  // namespace fairdms::fairds

@@ -12,22 +12,33 @@
 // (`lookup`), or reuse labels per-sample with a distance threshold and fall
 // back to a caller-provided conventional labeler (`lookup_or_label`,
 // the Fig. 9 workload).
+//
+// Concurrency model (two planes, one atomic seam): the system plane
+// (train_system / ingest / maybe_retrain) mutates master state under an
+// internal mutex and, on completion, publishes an immutable fairds::Snapshot
+// via atomic swap. The user-plane methods are thin wrappers that load the
+// current snapshot and run on it — lock-free, any number of threads, and
+// never blocked by (or observing a torn view of) an in-flight retrain.
+// Callers that need cross-call consistency (e.g. embed + distribution of
+// the same batch against one model version) should grab snapshot() once
+// and call through it.
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
-#include "cluster/fuzzy.hpp"
 #include "cluster/kmeans.hpp"
 #include "embed/embedder.hpp"
 #include "fairds/reuse_index.hpp"
+#include "fairds/snapshot.hpp"
 #include "nn/trainer.hpp"
 #include "store/docstore.hpp"
-#include "util/rng.hpp"
 
 namespace fairdms::fairds {
 
@@ -60,27 +71,35 @@ class FairDS {
  public:
   FairDS(FairDSConfig config, store::DocStore& db);
 
-  // --- system plane --------------------------------------------------------
+  // --- system plane (serialized by an internal mutex) ----------------------
 
   /// Trains the embedding model and the clustering model on historical
-  /// images [N, 1, S, S]. Must run before ingest/lookup.
+  /// images [N, 1, S, S], then publishes the first snapshot. Must run
+  /// before ingest/lookup.
   void train_system(const Tensor& historical_xs);
 
   /// Embeds, clusters, and stores labeled samples (xs [N,1,S,S], ys [N,L])
-  /// under `dataset_id`. Requires a trained system.
+  /// under `dataset_id`, then publishes a refreshed snapshot. Requires a
+  /// trained system.
   void ingest(const Tensor& xs, const Tensor& ys,
               const std::string& dataset_id);
+
+  /// The uncertainty-triggered update: if certainty(new_xs) falls below the
+  /// configured threshold, retrain embedding + clustering on all stored
+  /// images plus new_xs, re-assign stored samples, publish the new
+  /// snapshot, and return true. Concurrent queries keep running against
+  /// the previous snapshot until the swap.
+  bool maybe_retrain(const Tensor& new_xs);
+
+  // --- user plane (lock-free snapshot wrappers) ----------------------------
+
+  /// The current published model snapshot. Queries running against a
+  /// snapshot are unaffected by later system-plane publishes.
+  [[nodiscard]] std::shared_ptr<const Snapshot> snapshot() const;
 
   /// Fuzzy-k-means certainty of the current clustering on a dataset, in
   /// [0, 1] (fraction of samples assigned with >= 50% membership).
   [[nodiscard]] double certainty(const Tensor& xs) const;
-
-  /// The uncertainty-triggered update: if certainty(new_xs) falls below the
-  /// configured threshold, retrain embedding + clustering on all stored
-  /// images plus new_xs, re-assign stored samples, and return true.
-  bool maybe_retrain(const Tensor& new_xs);
-
-  // --- user plane ----------------------------------------------------------
 
   /// Embeds images [N,1,S,S] -> [N, dim].
   [[nodiscard]] Tensor embed(const Tensor& xs) const;
@@ -91,13 +110,14 @@ class FairDS {
 
   /// Retrieves |xs| labeled samples from history whose cluster distribution
   /// matches the input's PDF (sampling per-cluster counts from the PDF).
+  /// All randomness derives from the explicit per-call seed.
   [[nodiscard]] nn::Batchset lookup(const Tensor& xs,
                                     std::uint64_t seed) const;
 
   /// Per-sample reuse: for each input, the nearest stored sample within its
   /// cluster is reused when its embedding distance is below `threshold`;
   /// otherwise `fallback_labeler` computes the label ([M,1,S,S] -> [M,L]).
-  /// Nearest-neighbor search runs on the in-memory reuse index; winning
+  /// Nearest-neighbor search runs on the snapshot's reuse index; winning
   /// documents are fetched in one batched, field-projected store read. On
   /// an empty store every sample routes to the fallback labeler and the
   /// label width is inferred from its output (cold start).
@@ -107,40 +127,54 @@ class FairDS {
       ReuseStats* stats = nullptr) const;
 
   // --- introspection -------------------------------------------------------
-  [[nodiscard]] bool trained() const { return embedder_ != nullptr; }
+  [[nodiscard]] bool trained() const { return snapshot() != nullptr; }
+  /// References returned by clusters()/reuse_index() point into the current
+  /// snapshot and stay valid until the *next* system-plane publish; hold
+  /// snapshot() instead when a retrain may run concurrently.
   [[nodiscard]] const cluster::KMeansModel& clusters() const;
+  [[nodiscard]] const ReuseIndex& reuse_index() const;
   [[nodiscard]] std::size_t stored_count() const;
   [[nodiscard]] std::size_t n_clusters() const;
-  [[nodiscard]] std::size_t retrain_count() const { return retrains_; }
+  [[nodiscard]] std::size_t retrain_count() const {
+    return retrains_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] const FairDSConfig& config() const { return config_; }
-  /// The in-memory per-cluster embedding index backing lookup_or_label.
-  [[nodiscard]] const ReuseIndex& reuse_index() const { return reuse_index_; }
 
  private:
   void train_system_impl(const Tensor& xs, std::uint64_t seed);
   /// Rebuilds the reuse index from the stored `cluster`/`embedding` fields
   /// (used when models change but stored assignments are authoritative).
   void rebuild_index_from_store();
-  /// All stored images as [N, 1, S, S] (system-plane retraining input).
-  [[nodiscard]] Tensor stored_images() const;
+  /// Copies the master state into an immutable Snapshot and atomically
+  /// swaps it in. Caller must hold system_mutex_.
+  void publish_snapshot_locked();
+  /// Certainty against the *master* state (inside a system-plane op, where
+  /// the master may already be ahead of the published snapshot).
+  [[nodiscard]] double certainty_locked(const Tensor& xs) const;
   /// Images of `ids`, row i from ids[i], via one batched projected read.
   [[nodiscard]] Tensor images_for(const std::vector<store::DocId>& ids) const;
-  [[nodiscard]] nn::Batchset fetch_samples(
-      const std::vector<store::DocId>& ids) const;
-  [[nodiscard]] std::size_t label_width() const;
+  [[nodiscard]] std::shared_ptr<const Snapshot> require_snapshot(
+      const char* what) const;
 
   FairDSConfig config_;
   store::DocStore* db_;
   store::Collection* samples_;
-  std::unique_ptr<embed::Embedder> embedder_;
+
+  /// Master state, written only under system_mutex_. The embedder is shared
+  /// with published snapshots and never refit in place: retraining replaces
+  /// the pointer with a freshly trained embedder.
+  std::mutex system_mutex_;
+  std::shared_ptr<embed::Embedder> embedder_;
   std::optional<cluster::KMeansModel> kmeans_;
   ReuseIndex reuse_index_;
   /// Label width of ingested samples; 0 until known (set on first ingest,
   /// re-derived from the store when a FairDS is built over existing data).
-  /// Atomic because const read paths may fill the cache concurrently.
-  mutable std::atomic<std::size_t> label_width_{0};
-  mutable util::Rng rng_;
-  std::size_t retrains_ = 0;
+  std::size_t label_width_ = 0;
+  std::uint64_t version_ = 0;
+
+  /// The published snapshot (null until train_system). Lock-free readers.
+  std::atomic<std::shared_ptr<const Snapshot>> snapshot_;
+  std::atomic<std::size_t> retrains_{0};
 };
 
 }  // namespace fairdms::fairds

@@ -5,19 +5,12 @@
 #include <limits>
 #include <vector>
 
-#include "store/codec.hpp"
+#include "fairds/field_codec.hpp"
 #include "util/check.hpp"
 
 namespace fairdms::fairds {
 
 namespace {
-
-std::vector<float> decode_floats(const store::Binary& bytes) {
-  static const store::RawCodec codec;
-  std::vector<float> out;
-  codec.decode(bytes, out);
-  return out;
-}
 
 std::size_t scan_label_width(const store::Collection& samples) {
   std::size_t width = 0;

@@ -20,6 +20,26 @@ void ReuseIndex::reset(std::size_t dim) {
   clusters_.clear();
 }
 
+void ReuseIndex::mark_shared() {
+  for (Slot& slot : clusters_) {
+    if (slot.rows != nullptr) slot.shared = true;
+  }
+}
+
+ReuseIndex::ClusterRows& ReuseIndex::detach(std::size_t cluster) {
+  Slot& slot = clusters_[cluster];
+  if (slot.rows == nullptr) {
+    slot.rows = std::make_shared<ClusterRows>();
+  } else if (slot.shared) {
+    // Possibly held by a published copy: clone before writing. Blocks
+    // created (or cloned) after the last mark_shared() are unflagged and
+    // provably unobservable by any copy, so those mutate in place.
+    slot.rows = std::make_shared<ClusterRows>(*slot.rows);
+  }
+  slot.shared = false;
+  return *slot.rows;
+}
+
 void ReuseIndex::add(std::size_t cluster, store::DocId id,
                      std::span<const float> embedding) {
   FAIRDMS_CHECK(dim_ > 0, "ReuseIndex::add before reset");
@@ -29,7 +49,7 @@ void ReuseIndex::add(std::size_t cluster, store::DocId id,
   FAIRDMS_CHECK(cluster < std::numeric_limits<std::size_t>::max(),
                 "ReuseIndex::add: cluster id overflow");
   if (cluster >= clusters_.size()) clusters_.resize(cluster + 1);
-  ClusterRows& rows = clusters_[cluster];
+  ClusterRows& rows = detach(cluster);
   rows.rows.insert(rows.rows.end(), embedding.begin(), embedding.end());
   rows.ids.push_back(id);
 }
@@ -39,8 +59,10 @@ ReuseIndex::Neighbor ReuseIndex::nearest(std::size_t cluster,
   FAIRDMS_CHECK(query.size() == dim_, "ReuseIndex::nearest: query has ",
                 query.size(), " dims, index expects ", dim_);
   Neighbor best;
-  if (cluster >= clusters_.size()) return best;
-  const ClusterRows& rows = clusters_[cluster];
+  if (cluster >= clusters_.size() || clusters_[cluster].rows == nullptr) {
+    return best;
+  }
+  const ClusterRows& rows = *clusters_[cluster].rows;
   for (std::size_t r = 0; r < rows.ids.size(); ++r) {
     const float* row = rows.rows.data() + r * dim_;
     double d = 0.0;
@@ -86,18 +108,25 @@ std::vector<ReuseIndex::Neighbor> ReuseIndex::nearest_batch(
 
 std::size_t ReuseIndex::size() const {
   std::size_t total = 0;
-  for (const ClusterRows& rows : clusters_) total += rows.ids.size();
+  for (const Slot& slot : clusters_) {
+    if (slot.rows != nullptr) total += slot.rows->ids.size();
+  }
   return total;
 }
 
 std::size_t ReuseIndex::cluster_size(std::size_t cluster) const {
-  return cluster < clusters_.size() ? clusters_[cluster].ids.size() : 0;
+  if (cluster >= clusters_.size() || clusters_[cluster].rows == nullptr) {
+    return 0;
+  }
+  return clusters_[cluster].rows->ids.size();
 }
 
 std::span<const store::DocId> ReuseIndex::cluster_ids(
     std::size_t cluster) const {
-  if (cluster >= clusters_.size()) return {};
-  return clusters_[cluster].ids;
+  if (cluster >= clusters_.size() || clusters_[cluster].rows == nullptr) {
+    return {};
+  }
+  return clusters_[cluster].rows->ids;
 }
 
 }  // namespace fairdms::fairds

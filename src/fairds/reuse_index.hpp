@@ -15,10 +15,21 @@
 // partial sum exceeds the current best) and parallelize over query rows on
 // util::ThreadPool. Read-only operations are safe to call concurrently;
 // mutation requires external exclusion (FairDS's system plane owns that).
+//
+// Copies are copy-on-write per cluster: mark_shared() + copy shares the
+// per-cluster blocks, and a later mutation on the source detaches (clones)
+// only the touched clusters. Snapshot publication therefore costs
+// O(clusters) shared-pointer copies per publish — not O(stored rows) — no
+// matter how often the system plane publishes during streaming ingest.
+// Sharing is tracked explicitly (a per-cluster flag set by mark_shared),
+// not by refcount inspection, so writers never touch a block any copy can
+// observe and no cross-thread synchronization is needed beyond whatever
+// ordering hands the copy to its readers.
 #pragma once
 
 #include <cstddef>
 #include <limits>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -47,6 +58,12 @@ class ReuseIndex {
   void add(std::size_t cluster, store::DocId id,
            std::span<const float> embedding);
 
+  /// Declares every current block shared with an imminent copy: call right
+  /// before copy-constructing this index for a published snapshot. Later
+  /// mutations clone the touched clusters instead of writing in place, so
+  /// the copy's readers never observe a change.
+  void mark_shared();
+
   /// Nearest row of `cluster` to `query` by squared Euclidean distance.
   /// Ties keep the earliest-added row. Out-of-range clusters are empty.
   [[nodiscard]] Neighbor nearest(std::size_t cluster,
@@ -71,9 +88,19 @@ class ReuseIndex {
     std::vector<float> rows;       ///< [n * dim_], row-major
     std::vector<store::DocId> ids; ///< parallel to rows
   };
+  struct Slot {
+    std::shared_ptr<ClusterRows> rows;  ///< null => empty cluster
+    /// Set by mark_shared(); a flagged block may be held by a copy and is
+    /// cloned (never written in place) on the next mutation.
+    bool shared = false;
+  };
+
+  /// The cluster's block, writable by this index (cloned first when
+  /// flagged shared). Mutators call this before writing.
+  ClusterRows& detach(std::size_t cluster);
 
   std::size_t dim_ = 0;
-  std::vector<ClusterRows> clusters_;
+  std::vector<Slot> clusters_;
 };
 
 }  // namespace fairdms::fairds

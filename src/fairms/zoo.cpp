@@ -45,13 +45,26 @@ store::DocId ModelZoo::publish(const std::string& architecture,
                                const std::vector<double>& train_pdf,
                                std::vector<std::uint8_t> parameters) {
   FAIRDMS_CHECK(!train_pdf.empty(), "publish: empty training PDF");
-  FAIRDMS_CHECK(!parameters.empty(), "publish: empty parameter blob");
   store::Object doc;
   doc["architecture"] = store::Value(architecture);
   doc["dataset_id"] = store::Value(dataset_id);
   doc["train_pdf"] = pdf_to_value(train_pdf);
+  // Blob size is duplicated as a scalar so the metadata projection can tell
+  // weightless (metadata-first) records apart without touching the blob.
+  doc["param_bytes"] =
+      store::Value(static_cast<std::int64_t>(parameters.size()));
   doc["parameters"] = store::Value(store::Binary(std::move(parameters)));
   return collection_->insert_one(store::Value(std::move(doc)));
+}
+
+bool ModelZoo::attach_parameters(store::DocId id,
+                                 std::vector<std::uint8_t> parameters) {
+  store::Object fields;
+  fields["param_bytes"] =
+      store::Value(static_cast<std::int64_t>(parameters.size()));
+  fields["parameters"] = store::Value(store::Binary(std::move(parameters)));
+  // One lock, one charge: blob and its size scalar stay consistent.
+  return collection_->update_fields(id, std::move(fields));
 }
 
 std::optional<ModelRecord> ModelZoo::fetch(store::DocId id) const {
@@ -67,6 +80,36 @@ std::vector<ModelRecord> ModelZoo::models_of(
        collection_->find_eq("architecture", store::Value(architecture))) {
     const auto doc = collection_->find_by_id(id);
     if (doc.has_value()) out.push_back(record_from_doc(id, *doc));
+  }
+  return out;
+}
+
+std::vector<ModelMeta> ModelZoo::metadata_of(
+    const std::string& architecture) const {
+  static const std::vector<std::string> kMetaFields = {
+      "architecture", "dataset_id", "train_pdf", "param_bytes"};
+  const std::vector<store::DocId> ids =
+      collection_->find_eq("architecture", store::Value(architecture));
+  std::vector<ModelMeta> out;
+  if (ids.empty()) return out;
+  const auto docs = collection_->find_many(ids, kMetaFields);
+  out.reserve(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (!docs[i].has_value()) continue;  // removed between lookup and fetch
+    ModelMeta meta;
+    meta.id = ids[i];
+    meta.architecture = docs[i]->at("architecture").as_string();
+    meta.dataset_id = docs[i]->at("dataset_id").as_string();
+    meta.train_pdf = value_to_pdf(docs[i]->at("train_pdf"));
+    // Records written before param_bytes existed (restored store snapshots)
+    // all carried non-empty blobs — publish used to reject empty ones — so
+    // a missing field means "weights present", not "weightless".
+    const store::Object& obj = docs[i]->as_object();
+    const auto it = obj.find("param_bytes");
+    meta.param_bytes = it != obj.end()
+                           ? static_cast<std::size_t>(it->second.as_int())
+                           : 1;
+    out.push_back(std::move(meta));
   }
   return out;
 }
@@ -87,11 +130,13 @@ std::vector<Ranked> ModelManager::rank(
     const std::string& architecture,
     std::span<const double> input_pdf) const {
   std::vector<Ranked> out;
-  for (const ModelRecord& record : zoo_->models_of(architecture)) {
-    if (record.train_pdf.size() != input_pdf.size()) continue;  // stale index
+  // Metadata-only read: ranking compares PDFs, so the parameter blobs (the
+  // overwhelming majority of each record's bytes) are never deserialized.
+  for (const ModelMeta& meta : zoo_->metadata_of(architecture)) {
+    if (meta.train_pdf.size() != input_pdf.size()) continue;  // stale index
+    if (meta.param_bytes == 0) continue;  // weightless: not a foundation
     out.push_back(Ranked{
-        record.id,
-        jensen_shannon_divergence(input_pdf, record.train_pdf)});
+        meta.id, jensen_shannon_divergence(input_pdf, meta.train_pdf)});
   }
   std::sort(out.begin(), out.end(), [](const Ranked& a, const Ranked& b) {
     return a.distance < b.distance;

@@ -21,22 +21,55 @@ struct ModelRecord {
   std::vector<std::uint8_t> parameters;  ///< nn::save_parameters blob
 };
 
+/// Everything rank/recommend needs — no parameter bytes.
+struct ModelMeta {
+  store::DocId id = 0;
+  std::string architecture;
+  std::string dataset_id;
+  std::vector<double> train_pdf;
+  /// Size of the stored parameter blob. 0 => metadata-first record whose
+  /// weights have not arrived; rank/recommend skip those (they cannot
+  /// serve as fine-tuning foundations).
+  std::size_t param_bytes = 0;
+};
+
+/// Thread-safety: every ModelZoo method maps to one synchronized operation
+/// on the underlying collection, so concurrent publish/fetch/reindex/rank
+/// from multiple threads is safe (the store serializes writers and lets
+/// readers share).
 class ModelZoo {
  public:
   /// Models live in the "model_zoo" collection of `db`, indexed by
   /// architecture.
   explicit ModelZoo(store::DocStore& db);
 
-  /// Publishes a trained model; returns its zoo id.
+  /// Publishes a trained model; returns its zoo id. An empty parameter
+  /// blob is allowed (metadata-first publish — e.g. registering a model
+  /// trained elsewhere before its weights arrive); such records are
+  /// fetchable but excluded from rank/recommend until attach_parameters
+  /// supplies their weights.
   store::DocId publish(const std::string& architecture,
                        const std::string& dataset_id,
                        const std::vector<double>& train_pdf,
                        std::vector<std::uint8_t> parameters);
 
+  /// Stores (or replaces) the parameter blob of an existing record — the
+  /// second half of a metadata-first publish. Returns false if `id` is
+  /// absent. A non-empty blob makes the record rankable again.
+  bool attach_parameters(store::DocId id,
+                         std::vector<std::uint8_t> parameters);
+
   [[nodiscard]] std::optional<ModelRecord> fetch(store::DocId id) const;
 
   /// All models of one architecture (metadata + parameters).
   [[nodiscard]] std::vector<ModelRecord> models_of(
+      const std::string& architecture) const;
+
+  /// Metadata of all models of one architecture via one index lookup plus
+  /// one batched, field-projected read — parameter blobs (the dominant
+  /// payload) are never touched, decoded, or charged. This is the read
+  /// path ModelManager::rank runs on.
+  [[nodiscard]] std::vector<ModelMeta> metadata_of(
       const std::string& architecture) const;
 
   /// Replaces the stored training-data distribution of a model (the system

@@ -1,0 +1,142 @@
+#include "service/data_service.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace fairdms::service {
+
+namespace {
+
+std::size_t worker_count_for(std::size_t configured) {
+  if (configured != 0) return configured;
+  return std::max<std::size_t>(
+      2, static_cast<std::size_t>(std::thread::hardware_concurrency()));
+}
+
+}  // namespace
+
+DataService::DataService(fairds::FairDS& ds, DataServiceConfig config,
+                         const fairms::ModelManager* manager)
+    : ds_(&ds),
+      config_(config),
+      manager_(manager),
+      workers_(worker_count_for(config.workers)),
+      system_(1) {}
+
+DataService::~DataService() { wait_idle(); }
+
+void DataService::record_request(double seconds) {
+  std::lock_guard lock(stats_mutex_);
+  stats_.busy_seconds += seconds;
+  stats_.max_request_seconds = std::max(stats_.max_request_seconds, seconds);
+}
+
+std::future<LabelResponse> DataService::submit(LabelRequest request) {
+  FAIRDMS_CHECK(request.fallback_labeler != nullptr,
+                "LabelRequest without a fallback labeler");
+  {
+    std::lock_guard lock(stats_mutex_);
+    ++stats_.label_requests;
+  }
+  auto req = std::make_shared<LabelRequest>(std::move(request));
+  return workers_.async([this, req] {
+    util::WallTimer timer;
+    const auto snap = ds_->snapshot();
+    FAIRDMS_CHECK(snap != nullptr, "DataService: FairDS not trained");
+    LabelResponse response;
+    response.batch = snap->lookup_or_label(
+        req->xs, req->threshold, req->fallback_labeler, &response.reuse);
+    response.snapshot_version = snap->version();
+    response.seconds = timer.seconds();
+    {
+      std::lock_guard lock(stats_mutex_);
+      stats_.samples_labeled += req->xs.dim(0);
+      stats_.labels_reused += response.reuse.reused;
+      stats_.labels_computed += response.reuse.computed;
+    }
+    record_request(response.seconds);
+    // Serving-side Fig. 16 policy: the data just labeled doubles as the
+    // drift probe. Coalesced inside request_retrain.
+    if (config_.auto_retrain) request_retrain(req->xs);
+    return response;
+  });
+}
+
+std::future<LookupResponse> DataService::submit(LookupRequest request) {
+  {
+    std::lock_guard lock(stats_mutex_);
+    ++stats_.lookup_requests;
+  }
+  auto req = std::make_shared<LookupRequest>(std::move(request));
+  return workers_.async([this, req] {
+    util::WallTimer timer;
+    const auto snap = ds_->snapshot();
+    FAIRDMS_CHECK(snap != nullptr, "DataService: FairDS not trained");
+    LookupResponse response;
+    response.batch = snap->lookup(req->xs, req->seed);
+    response.snapshot_version = snap->version();
+    response.seconds = timer.seconds();
+    record_request(response.seconds);
+    return response;
+  });
+}
+
+std::future<RecommendResponse> DataService::submit(RecommendRequest request) {
+  FAIRDMS_CHECK(manager_ != nullptr,
+                "RecommendRequest on a DataService without a ModelManager");
+  {
+    std::lock_guard lock(stats_mutex_);
+    ++stats_.recommend_requests;
+  }
+  auto req = std::make_shared<RecommendRequest>(std::move(request));
+  return workers_.async([this, req] {
+    util::WallTimer timer;
+    const auto snap = ds_->snapshot();
+    FAIRDMS_CHECK(snap != nullptr, "DataService: FairDS not trained");
+    RecommendResponse response;
+    response.pdf = snap->distribution(req->xs);
+    response.pick = manager_->recommend(req->architecture, response.pdf);
+    response.snapshot_version = snap->version();
+    response.seconds = timer.seconds();
+    record_request(response.seconds);
+    return response;
+  });
+}
+
+bool DataService::request_retrain(const Tensor& xs) {
+  bool expected = false;
+  if (!system_busy_.compare_exchange_strong(expected, true,
+                                            std::memory_order_acq_rel)) {
+    return false;  // one check in flight answers the question; coalesce
+  }
+  // Copy only after winning the coalescing race: dropped requests (the
+  // steady state while a retrain runs) cost no allocation.
+  system_.submit([this, xs] {
+    const bool retrained = ds_->maybe_retrain(xs);
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++stats_.retrain_checks;
+      if (retrained) ++stats_.retrains;
+    }
+    system_busy_.store(false, std::memory_order_release);
+  });
+  return true;
+}
+
+void DataService::wait_idle() {
+  // User-plane tasks may enqueue system-plane checks, never the reverse,
+  // so draining in this order reaches a true fixed point.
+  workers_.wait_idle();
+  system_.wait_idle();
+}
+
+ServiceStats DataService::stats() const {
+  std::lock_guard lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace fairdms::service

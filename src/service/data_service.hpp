@@ -1,0 +1,94 @@
+// DataService — the multi-client serving facade over fairDS (the ROADMAP's
+// "heavy traffic from many clients" north star, and the serving framing of
+// the FAIR-models follow-up, arXiv:2207.00611).
+//
+// Two planes, two executors:
+//  * User plane: submit() enqueues label / lookup / recommend requests on a
+//    worker pool and returns a std::future. Each request loads the current
+//    immutable model snapshot and runs lock-free against it, so N clients
+//    get real concurrency and consistent per-request model versions.
+//  * System plane: retrain checks run on a dedicated single-thread executor.
+//    request_retrain() (or the auto-retrain policy) enqueues a certainty
+//    check + conditional retrain that builds the next snapshot off to the
+//    side; queries never block on it and keep being served by the previous
+//    snapshot until the atomic publish. At most one system-plane check is
+//    in flight at a time — extra requests are coalesced (dropped), since a
+//    second check against the same model version answers the same question.
+//
+// Lifetime: the FairDS (and anything a ModelManager points at) must outlive
+// the service. The destructor drains both planes.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <mutex>
+
+#include "service/dtos.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fairdms::service {
+
+struct DataServiceConfig {
+  /// User-plane worker threads; 0 => max(2, hardware_concurrency) so even
+  /// single-core hosts overlap request execution with client submission.
+  std::size_t workers = 0;
+  /// When true, every completed label request also enqueues a background
+  /// certainty check on its input batch (coalesced to one in flight) — the
+  /// paper's Fig. 16 trigger, run as a serving-side policy instead of an
+  /// explicit caller step.
+  bool auto_retrain = false;
+};
+
+class DataService {
+ public:
+  /// `manager` is optional and only needed for RecommendRequest.
+  explicit DataService(fairds::FairDS& ds, DataServiceConfig config = {},
+                       const fairms::ModelManager* manager = nullptr);
+  ~DataService();
+
+  DataService(const DataService&) = delete;
+  DataService& operator=(const DataService&) = delete;
+
+  // --- user plane ----------------------------------------------------------
+  [[nodiscard]] std::future<LabelResponse> submit(LabelRequest request);
+  [[nodiscard]] std::future<LookupResponse> submit(LookupRequest request);
+  [[nodiscard]] std::future<RecommendResponse> submit(
+      RecommendRequest request);
+
+  // --- system plane --------------------------------------------------------
+  /// Enqueues an async certainty check (and retrain, if certainty is below
+  /// the FairDS threshold) on a copy of `xs`. Returns false when a check is
+  /// already in flight (the request is coalesced and `xs` is not copied).
+  /// Never blocks on training.
+  bool request_retrain(const Tensor& xs);
+  [[nodiscard]] bool retrain_in_flight() const {
+    return system_busy_.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until both planes are idle (all submitted requests answered,
+  /// no retrain in flight).
+  void wait_idle();
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
+
+ private:
+  void record_request(double seconds);
+
+  fairds::FairDS* ds_;
+  DataServiceConfig config_;
+  const fairms::ModelManager* manager_;
+
+  mutable std::mutex stats_mutex_;
+  ServiceStats stats_;
+  std::atomic<bool> system_busy_{false};
+
+  // Pools last: their destructors run first and drain queued tasks, which
+  // may still touch the members above.
+  util::ThreadPool workers_;
+  util::ThreadPool system_;
+};
+
+}  // namespace fairdms::service

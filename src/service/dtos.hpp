@@ -1,0 +1,85 @@
+// Request/response DTOs of the fairDMS serving layer.
+//
+// The service API is asynchronous: clients build a request, submit() it to
+// the DataService, and get a std::future for the response. Requests carry
+// everything the user plane needs; responses carry the result plus serving
+// metadata (which model version answered, how long execution took), so
+// clients can detect when a background retrain has published a new model
+// mid-stream.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "fairds/fairds.hpp"
+#include "fairms/zoo.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/tensor.hpp"
+
+namespace fairdms::service {
+
+using tensor::Tensor;
+
+/// Per-sample label acquisition (the Fig. 9 reuse workload): reuse stored
+/// labels within `threshold` embedding distance, fall back to
+/// `fallback_labeler` for the rest. The labeler may be invoked on the
+/// service's worker threads and must be thread-compatible (it is called at
+/// most once per request, never concurrently within one request).
+struct LabelRequest {
+  Tensor xs;  ///< [N, 1, S, S]
+  double threshold = 0.5;
+  std::function<Tensor(const Tensor&)> fallback_labeler;
+};
+
+struct LabelResponse {
+  nn::Batchset batch;
+  fairds::ReuseStats reuse;
+  std::uint64_t snapshot_version = 0;  ///< model version that served this
+  double seconds = 0.0;                ///< execution time (queue wait excluded)
+};
+
+/// Dataset lookup: a PDF-matched labeled dataset of |xs| samples from
+/// history. `seed` drives all sampling, so identical requests against the
+/// same model version return identical batches.
+struct LookupRequest {
+  Tensor xs;  ///< [N, 1, S, S]
+  std::uint64_t seed = 0;
+};
+
+struct LookupResponse {
+  nn::Batchset batch;
+  std::uint64_t snapshot_version = 0;
+  double seconds = 0.0;
+};
+
+/// Foundation-model recommendation: rank the zoo's `architecture` models by
+/// JSD between their training-data PDF and the PDF of `xs`.
+struct RecommendRequest {
+  std::string architecture;
+  Tensor xs;  ///< [N, 1, S, S]
+};
+
+struct RecommendResponse {
+  std::optional<fairms::Ranked> pick;  ///< nullopt => train from scratch
+  std::vector<double> pdf;             ///< the query's cluster-PDF
+  std::uint64_t snapshot_version = 0;
+  double seconds = 0.0;
+};
+
+/// Aggregate serving counters (a snapshot copy; see DataService::stats).
+struct ServiceStats {
+  std::uint64_t label_requests = 0;
+  std::uint64_t lookup_requests = 0;
+  std::uint64_t recommend_requests = 0;
+  std::uint64_t samples_labeled = 0;
+  std::uint64_t labels_reused = 0;
+  std::uint64_t labels_computed = 0;
+  double busy_seconds = 0.0;         ///< summed request execution time
+  double max_request_seconds = 0.0;  ///< slowest single request
+  std::uint64_t retrain_checks = 0;  ///< system-plane certainty evaluations
+  std::uint64_t retrains = 0;        ///< checks that triggered a retrain
+};
+
+}  // namespace fairdms::service

@@ -10,9 +10,12 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace fairdms::util {
@@ -30,6 +33,21 @@ class ThreadPool {
 
   /// Enqueue an arbitrary task. Prefer parallel_for for data parallelism.
   void submit(std::function<void()> task);
+
+  /// Enqueue a task and get a std::future for its result (exceptions
+  /// propagate through the future). The request-submission substrate of
+  /// the service layer.
+  template <typename F>
+  [[nodiscard]] auto async(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    // shared_ptr wrapper because std::function requires copyable targets
+    // and packaged_task is move-only.
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    submit([task] { (*task)(); });
+    return result;
+  }
 
   /// Block until every submitted task has finished.
   void wait_idle();

@@ -1,4 +1,4 @@
-// Link-sanity suite: touches one exported symbol from each of the 13 library
+// Link-sanity suite: touches one exported symbol from each of the 14 library
 // modules so a partial link (a module dropped from FAIRDMS_SOURCES, an ODR
 // mishap, a dead archive member) fails this suite immediately instead of
 // surfacing as a confusing downstream error.
@@ -17,6 +17,7 @@
 #include "labeling/frame_label.hpp"
 #include "models/models.hpp"
 #include "nn/activations.hpp"
+#include "service/data_service.hpp"
 #include "store/codec.hpp"
 #include "tensor/tensor.hpp"
 #include "util/stats.hpp"
@@ -87,6 +88,15 @@ TEST(BuildSanity, NnModuleLinks) {
   const Tensor x = Tensor::full({1, 2}, -1.0f);
   const Tensor y = relu.forward(x, fairdms::nn::Mode::kEval);
   EXPECT_FLOAT_EQ(y[0], 0.0f);
+}
+
+TEST(BuildSanity, ServiceModuleLinks) {
+  fairdms::store::DocStore db;
+  fairdms::fairds::FairDS ds({}, db);
+  fairdms::service::DataService service(
+      ds, fairdms::service::DataServiceConfig{.workers = 1});
+  EXPECT_EQ(service.worker_count(), 1u);
+  EXPECT_EQ(service.stats().label_requests, 0u);
 }
 
 TEST(BuildSanity, StoreModuleLinks) {
