@@ -136,10 +136,12 @@ int main(int argc, char** argv) {
     config.n_clusters = 8;
     config.embed_train.epochs = preset.embed_epochs;
     config.seed = kSeed;
+    config.store_shards = 4;  // ingest/lookup don't share one writer lock
     fairds::FairDS ds(config, db);
     ds.train_system(head_rows(history.xs, preset.train_subset));
     ds.ingest(history.xs, history.ys, "history");
-    service::DataService service(ds, {.workers = clients});
+    service::DataService service(
+        ds, {.workers = clients, .store_shards = 4});
 
     const auto result = drive(service, queries.xs, clients,
                               preset.batches_per_client, preset.batch,
@@ -165,10 +167,12 @@ int main(int argc, char** argv) {
     config.embed_train.epochs = preset.embed_epochs;
     config.certainty_threshold = 1.01;  // any probe forces the retrain
     config.seed = kSeed;
+    config.store_shards = 4;
     fairds::FairDS ds(config, db);
     ds.train_system(head_rows(history.xs, preset.train_subset));
     ds.ingest(history.xs, history.ys, "history");
-    service::DataService service(ds, {.workers = clients});
+    service::DataService service(
+        ds, {.workers = clients, .store_shards = 4});
 
     const nn::Batchset probe = timeline.dataset_at(7, 48, kSeed + 2);
     const auto result =

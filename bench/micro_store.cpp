@@ -1,7 +1,14 @@
 // Microbenchmarks: document-store primitives — insert, point lookup,
 // indexed vs scanned equality queries (the paper's §II-A requirement ii:
-// "efficient data lookup by using embedding indexing").
+// "efficient data lookup by using embedding indexing"), and concurrent
+// ingest on sharded vs unsharded collections (the detector-rate parallel
+// write path).
 #include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <memory>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "store/docstore.hpp"
@@ -61,10 +68,59 @@ void BM_FindEq(benchmark::State& state) {
   state.SetLabel(indexed ? "indexed" : "collection-scan");
 }
 
+// Concurrent ingest: `threads` writers each insert_one a fixed document
+// count into one collection with `shards` sub-stores. With one shard every
+// writer queues on the collection's single exclusive lock; with several,
+// the atomic id allocator round-robins writers across independent shard
+// locks. Wall time (UseRealTime) over the whole parallel phase.
+void BM_ConcurrentIngest(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const auto shards = static_cast<std::size_t>(state.range(1));
+  constexpr std::size_t kDocsPerThread = 1024;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto col = std::make_unique<store::Collection>("bench", nullptr, shards);
+    std::vector<std::vector<store::Value>> docs(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      util::Rng rng(100 + t);
+      docs[t].reserve(kDocsPerThread);
+      for (std::size_t i = 0; i < kDocsPerThread; ++i) {
+        docs[t].push_back(sample_doc(static_cast<std::int64_t>(i % 16), rng));
+      }
+    }
+    state.ResumeTiming();
+    std::vector<std::thread> writers;
+    writers.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      writers.emplace_back([&col, &docs, t] {
+        for (store::Value& doc : docs[t]) {
+          benchmark::DoNotOptimize(col->insert_one(std::move(doc)));
+        }
+      });
+    }
+    for (auto& w : writers) w.join();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * threads * kDocsPerThread));
+  state.SetLabel(shards == 1 ? "unsharded" : "sharded");
+}
+
 }  // namespace
 
 BENCHMARK(BM_InsertOne);
 BENCHMARK(BM_FindById);
 BENCHMARK(BM_FindEq)->Arg(0)->Arg(1);
+BENCHMARK(BM_ConcurrentIngest)
+    ->ArgNames({"threads", "shards"})
+    ->Args({1, 1})
+    ->Args({1, 8})
+    ->Args({2, 1})
+    ->Args({2, 8})
+    ->Args({4, 1})
+    ->Args({4, 8})
+    ->Args({8, 1})
+    ->Args({8, 8})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

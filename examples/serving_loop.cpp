@@ -42,6 +42,9 @@ int main() {
   ds_config.n_clusters = 8;
   ds_config.embed_train.epochs = 3;
   ds_config.certainty_threshold = 0.8;
+  // Shard the sample store so streaming ingest and lookups don't queue on
+  // one writer lock (a no-op on single-core hosts, parallel elsewhere).
+  ds_config.store_shards = 4;
   fairds::FairDS data_service(ds_config, db);
   data_service.train_system(history.xs);
   data_service.ingest(history.xs, history.ys, "scan_0");
@@ -50,9 +53,11 @@ int main() {
               static_cast<unsigned long long>(
                   data_service.snapshot()->version()));
 
-  // Serving facade: auto-retrain probes every labeled batch for drift.
-  service::DataService service(data_service,
-                               {.workers = 3, .auto_retrain = true});
+  // Serving facade: auto-retrain probes every labeled batch for drift. The
+  // declared store_shards is checked against the data tier at construction.
+  service::DataService service(
+      data_service,
+      {.workers = 3, .auto_retrain = true, .store_shards = 4});
 
   const auto voigt_labeler = [](const nn::Tensor& xs) {
     // Stand-in for the conventional pseudo-Voigt fit: label = centroid.

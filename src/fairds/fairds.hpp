@@ -59,6 +59,11 @@ struct FairDSConfig {
   double fuzziness = 1.35;
   std::uint64_t seed = 42;
   std::string collection = "fairds_samples";
+  /// Shard count for the sample collection (created on construction);
+  /// 0 => the DocStore's default. More shards let concurrent ingest and
+  /// store reads proceed in parallel (detector-rate streaming); 1 keeps
+  /// the single-lock store. Ignored when the collection already exists.
+  std::size_t store_shards = 0;
 };
 
 /// Outcome of the per-sample reuse path (Fig. 9).
@@ -134,6 +139,8 @@ class FairDS {
   [[nodiscard]] const cluster::KMeansModel& clusters() const;
   [[nodiscard]] const ReuseIndex& reuse_index() const;
   [[nodiscard]] std::size_t stored_count() const;
+  /// Shard count of the backing sample collection.
+  [[nodiscard]] std::size_t store_shards() const;
   [[nodiscard]] std::size_t n_clusters() const;
   [[nodiscard]] std::size_t retrain_count() const {
     return retrains_.load(std::memory_order_relaxed);

@@ -25,7 +25,12 @@ DataService::DataService(fairds::FairDS& ds, DataServiceConfig config,
       config_(config),
       manager_(manager),
       workers_(worker_count_for(config.workers)),
-      system_(1) {}
+      system_(1) {
+  FAIRDMS_CHECK(config_.store_shards == 0 ||
+                    config_.store_shards == ds.store_shards(),
+                "DataService: configured store_shards ", config_.store_shards,
+                " != sample collection's ", ds.store_shards());
+}
 
 DataService::~DataService() { wait_idle(); }
 
@@ -136,7 +141,9 @@ void DataService::wait_idle() {
 
 ServiceStats DataService::stats() const {
   std::lock_guard lock(stats_mutex_);
-  return stats_;
+  ServiceStats out = stats_;
+  out.store_shards = ds_->store_shards();
+  return out;
 }
 
 }  // namespace fairdms::service

@@ -39,6 +39,11 @@ struct DataServiceConfig {
   /// paper's Fig. 16 trigger, run as a serving-side policy instead of an
   /// explicit caller step.
   bool auto_retrain = false;
+  /// Declared shard count of the data tier's sample collection; 0 => don't
+  /// care. When non-zero, construction checks it against the FairDS's
+  /// actual collection, failing loudly when a deployment assumed ingest
+  /// parallelism the store was not built with.
+  std::size_t store_shards = 0;
 };
 
 class DataService {

@@ -80,6 +80,7 @@ struct ServiceStats {
   double max_request_seconds = 0.0;  ///< slowest single request
   std::uint64_t retrain_checks = 0;  ///< system-plane certainty evaluations
   std::uint64_t retrains = 0;        ///< checks that triggered a retrain
+  std::uint64_t store_shards = 0;    ///< sample-collection shard count
 };
 
 }  // namespace fairdms::service

@@ -4,45 +4,95 @@
 #include <mutex>
 
 #include "util/check.hpp"
+#include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fairdms::store {
+
+namespace {
+
+/// Batched operations fan out per-shard on the global thread pool only
+/// above this many work items; below it, serial dispatch beats the queue
+/// round trip.
+constexpr std::size_t kShardFanoutMinItems = 512;
+
+}  // namespace
+
+Collection::Collection(std::string name, const RemoteLink* link,
+                       std::size_t shards)
+    : name_(std::move(name)), link_(link) {
+  FAIRDMS_CHECK(shards >= 1, "collection '", name_,
+                "': shard count must be >= 1, got ", shards);
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  if ((shards & (shards - 1)) == 0) shard_mask_ = shards - 1;
+}
 
 std::size_t Collection::doc_bytes(const Value& doc) {
   return doc.encoded_size();
 }
 
+void Collection::for_each_shard(
+    std::size_t items, const std::function<void(std::size_t)>& body) const {
+  const std::size_t n = shards_.size();
+  if (n > 1 && items >= kShardFanoutMinItems) {
+    util::ThreadPool::global().parallel_for(
+        n, [&](std::size_t begin, std::size_t end) {
+          for (std::size_t s = begin; s < end; ++s) body(s);
+        });
+    return;
+  }
+  for (std::size_t s = 0; s < n; ++s) body(s);
+}
+
 DocId Collection::insert_one(Value doc) {
   FAIRDMS_CHECK(doc.is_object(), "insert_one: document must be an object");
-  std::unique_lock lock(mutex_);
-  const DocId id = next_id_++;
+  const DocId id = next_id_.fetch_add(1, std::memory_order_relaxed);
   doc.as_object()["_id"] = Value(static_cast<std::int64_t>(id));
   const std::size_t bytes = doc_bytes(doc);
-  payload_bytes_ += bytes;
-  index_insert_locked(id, doc);
-  docs_.emplace(id, StoredDoc{std::move(doc), bytes});
-  lock.unlock();
+  Shard& shard = shard_of(id);
+  {
+    std::unique_lock lock(shard.mutex);
+    shard.payload_bytes += bytes;
+    index_insert_locked(shard, id, doc);
+    shard.docs.emplace(id, StoredDoc{std::move(doc), bytes});
+  }
   charge(bytes + 64);  // request envelope
   return id;
 }
 
 std::vector<DocId> Collection::insert_many(std::vector<Value> docs) {
+  const std::size_t n = docs.size();
+  // One contiguous id block, so batch ids are deterministic regardless of
+  // which shard commits first.
+  const DocId first = next_id_.fetch_add(n, std::memory_order_relaxed);
   std::vector<DocId> ids;
-  ids.reserve(docs.size());
+  ids.reserve(n);
+  std::vector<std::size_t> sizes(n);
+  std::vector<std::vector<std::size_t>> per_shard(shards_.size());
   std::size_t total_bytes = 0;
-  {
-    std::unique_lock lock(mutex_);
-    for (Value& doc : docs) {
-      FAIRDMS_CHECK(doc.is_object(), "insert_many: document must be object");
-      const DocId id = next_id_++;
-      doc.as_object()["_id"] = Value(static_cast<std::int64_t>(id));
-      const std::size_t bytes = doc_bytes(doc);
-      total_bytes += bytes;
-      index_insert_locked(id, doc);
-      docs_.emplace(id, StoredDoc{std::move(doc), bytes});
-      ids.push_back(id);
-    }
-    payload_bytes_ += total_bytes;
+  for (std::size_t i = 0; i < n; ++i) {
+    FAIRDMS_CHECK(docs[i].is_object(),
+                  "insert_many: document must be object");
+    const DocId id = first + i;
+    docs[i].as_object()["_id"] = Value(static_cast<std::int64_t>(id));
+    sizes[i] = doc_bytes(docs[i]);
+    total_bytes += sizes[i];
+    per_shard[shard_index(id)].push_back(i);
+    ids.push_back(id);
   }
+  for_each_shard(n, [&](std::size_t s) {
+    if (per_shard[s].empty()) return;
+    Shard& shard = *shards_[s];
+    std::unique_lock lock(shard.mutex);
+    for (const std::size_t i : per_shard[s]) {
+      shard.payload_bytes += sizes[i];
+      index_insert_locked(shard, ids[i], docs[i]);
+      shard.docs.emplace(ids[i], StoredDoc{std::move(docs[i]), sizes[i]});
+    }
+  });
   charge(total_bytes + 64);  // one batched round trip
   return ids;
 }
@@ -50,10 +100,11 @@ std::vector<DocId> Collection::insert_many(std::vector<Value> docs) {
 std::optional<Value> Collection::find_by_id(DocId id) const {
   std::optional<Value> out;
   std::size_t bytes = 64;
+  Shard& shard = shard_of(id);
   {
-    std::shared_lock lock(mutex_);
-    auto it = docs_.find(id);
-    if (it != docs_.end()) {
+    std::shared_lock lock(shard.mutex);
+    auto it = shard.docs.find(id);
+    if (it != shard.docs.end()) {
       out = it->second.doc;
       bytes += it->second.bytes;
     }
@@ -65,12 +116,19 @@ std::optional<Value> Collection::find_by_id(DocId id) const {
 std::vector<std::optional<Value>> Collection::find_many(
     std::span<const DocId> ids, std::span<const std::string> fields) const {
   std::vector<std::optional<Value>> out(ids.size());
-  std::size_t bytes = 64;
-  {
-    std::shared_lock lock(mutex_);
-    for (std::size_t i = 0; i < ids.size(); ++i) {
-      auto it = docs_.find(ids[i]);
-      if (it == docs_.end()) continue;
+  std::vector<std::vector<std::size_t>> per_shard(shards_.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    per_shard[shard_index(ids[i])].push_back(i);
+  }
+  std::vector<std::size_t> shard_bytes(shards_.size(), 0);
+  for_each_shard(ids.size(), [&](std::size_t s) {
+    if (per_shard[s].empty()) return;
+    Shard& shard = *shards_[s];
+    std::size_t bytes = 0;
+    std::shared_lock lock(shard.mutex);
+    for (const std::size_t i : per_shard[s]) {
+      auto it = shard.docs.find(ids[i]);
+      if (it == shard.docs.end()) continue;
       if (fields.empty()) {
         out[i] = it->second.doc;
         bytes += it->second.bytes;
@@ -86,7 +144,10 @@ std::vector<std::optional<Value>> Collection::find_many(
       }
       out[i] = Value(std::move(projected));
     }
-  }
+    shard_bytes[s] = bytes;
+  });
+  std::size_t bytes = 64;
+  for (const std::size_t b : shard_bytes) bytes += b;
   charge(bytes);  // one batched round trip for the whole id list
   return out;
 }
@@ -95,17 +156,18 @@ bool Collection::replace_one(DocId id, Value doc) {
   FAIRDMS_CHECK(doc.is_object(), "replace_one: document must be an object");
   std::size_t bytes = 64;
   bool found = false;
+  Shard& shard = shard_of(id);
   {
-    std::unique_lock lock(mutex_);
-    auto it = docs_.find(id);
-    if (it != docs_.end()) {
-      index_remove_locked(id, it->second.doc);
-      payload_bytes_ -= it->second.bytes;
+    std::unique_lock lock(shard.mutex);
+    auto it = shard.docs.find(id);
+    if (it != shard.docs.end()) {
+      index_remove_locked(shard, id, it->second.doc);
+      shard.payload_bytes -= it->second.bytes;
       doc.as_object()["_id"] = Value(static_cast<std::int64_t>(id));
       const std::size_t new_bytes = doc_bytes(doc);
       bytes += new_bytes;
-      payload_bytes_ += new_bytes;
-      index_insert_locked(id, doc);
+      shard.payload_bytes += new_bytes;
+      index_insert_locked(shard, id, doc);
       it->second = StoredDoc{std::move(doc), new_bytes};
       found = true;
     }
@@ -114,27 +176,27 @@ bool Collection::replace_one(DocId id, Value doc) {
   return found;
 }
 
-std::size_t Collection::update_fields_locked(DocId id, Object&& fields,
-                                             bool& found) {
+std::size_t Collection::update_fields_locked(Shard& shard, DocId id,
+                                             Object&& fields, bool& found) {
   std::size_t value_bytes = 0;
   for (const auto& [field, value] : fields) {
     value_bytes += 8 + field.size() + value.encoded_size();
   }
-  auto it = docs_.find(id);
-  if (it == docs_.end()) {
+  auto it = shard.docs.find(id);
+  if (it == shard.docs.end()) {
     found = false;
     return value_bytes;
   }
-  index_remove_locked(id, it->second.doc);
+  index_remove_locked(shard, id, it->second.doc);
   Object& obj = it->second.doc.as_object();
   for (auto& [field, value] : fields) {
     obj[field] = std::move(value);
   }
   const std::size_t new_bytes = doc_bytes(it->second.doc);
-  payload_bytes_ += new_bytes;
-  payload_bytes_ -= it->second.bytes;
+  shard.payload_bytes += new_bytes;
+  shard.payload_bytes -= it->second.bytes;
   it->second.bytes = new_bytes;
-  index_insert_locked(id, it->second.doc);
+  index_insert_locked(shard, id, it->second.doc);
   found = true;
   return value_bytes;
 }
@@ -149,9 +211,10 @@ bool Collection::update_field(DocId id, const std::string& field,
 bool Collection::update_fields(DocId id, Object fields) {
   bool found = false;
   std::size_t value_bytes = 0;
+  Shard& shard = shard_of(id);
   {
-    std::unique_lock lock(mutex_);
-    value_bytes = update_fields_locked(id, std::move(fields), found);
+    std::unique_lock lock(shard.mutex);
+    value_bytes = update_fields_locked(shard, id, std::move(fields), found);
   }
   charge(64 + value_bytes);
   return found;
@@ -159,15 +222,30 @@ bool Collection::update_fields(DocId id, Object fields) {
 
 std::size_t Collection::update_many(
     std::vector<std::pair<DocId, Object>> updates) {
+  std::vector<std::vector<std::size_t>> per_shard(shards_.size());
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    // Grouping preserves list order within a shard, so repeated updates to
+    // one id apply in submission order.
+    per_shard[shard_index(updates[i].first)].push_back(i);
+  }
+  std::vector<std::size_t> shard_updated(shards_.size(), 0);
+  std::vector<std::size_t> shard_bytes(shards_.size(), 0);
+  for_each_shard(updates.size(), [&](std::size_t s) {
+    if (per_shard[s].empty()) return;
+    Shard& shard = *shards_[s];
+    std::unique_lock lock(shard.mutex);
+    for (const std::size_t i : per_shard[s]) {
+      bool found = false;
+      shard_bytes[s] += update_fields_locked(
+          shard, updates[i].first, std::move(updates[i].second), found);
+      if (found) ++shard_updated[s];
+    }
+  });
   std::size_t updated = 0;
   std::size_t value_bytes = 0;
-  {
-    std::unique_lock lock(mutex_);
-    for (auto& [id, fields] : updates) {
-      bool found = false;
-      value_bytes += update_fields_locked(id, std::move(fields), found);
-      if (found) ++updated;
-    }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    updated += shard_updated[s];
+    value_bytes += shard_bytes[s];
   }
   charge(64 + value_bytes);  // one batched round trip
   return updated;
@@ -175,13 +253,14 @@ std::size_t Collection::update_many(
 
 bool Collection::remove_one(DocId id) {
   bool found = false;
+  Shard& shard = shard_of(id);
   {
-    std::unique_lock lock(mutex_);
-    auto it = docs_.find(id);
-    if (it != docs_.end()) {
-      index_remove_locked(id, it->second.doc);
-      payload_bytes_ -= it->second.bytes;
-      docs_.erase(it);
+    std::unique_lock lock(shard.mutex);
+    auto it = shard.docs.find(id);
+    if (it != shard.docs.end()) {
+      index_remove_locked(shard, id, it->second.doc);
+      shard.payload_bytes -= it->second.bytes;
+      shard.docs.erase(it);
       found = true;
     }
   }
@@ -190,37 +269,47 @@ bool Collection::remove_one(DocId id) {
 }
 
 void Collection::create_index(const std::string& field) {
-  std::unique_lock lock(mutex_);
-  if (indexes_.count(field) > 0) return;
-  auto& index = indexes_[field];
-  for (const auto& [id, stored] : docs_) {
-    if (stored.doc.contains(field)) index[stored.doc.at(field)].push_back(id);
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::unique_lock lock(shard.mutex);
+    if (shard.indexes.count(field) > 0) continue;
+    auto& index = shard.indexes[field];
+    for (const auto& [id, stored] : shard.docs) {
+      if (stored.doc.contains(field)) {
+        index[stored.doc.at(field)].push_back(id);
+      }
+    }
   }
 }
 
 bool Collection::has_index(const std::string& field) const {
-  std::shared_lock lock(mutex_);
-  return indexes_.count(field) > 0;
+  // create_index installs the field on every shard before returning, so
+  // shard 0 is authoritative.
+  std::shared_lock lock(shards_[0]->mutex);
+  return shards_[0]->indexes.count(field) > 0;
 }
 
 std::vector<DocId> Collection::find_eq(const std::string& field,
                                        const Value& value) const {
   std::vector<DocId> out;
-  {
-    std::shared_lock lock(mutex_);
-    auto idx = indexes_.find(field);
-    if (idx != indexes_.end()) {
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::shared_lock lock(shard.mutex);
+    auto idx = shard.indexes.find(field);
+    if (idx != shard.indexes.end()) {
       auto it = idx->second.find(value);
-      if (it != idx->second.end()) out = it->second;
+      if (it != idx->second.end()) {
+        out.insert(out.end(), it->second.begin(), it->second.end());
+      }
     } else {
-      for (const auto& [id, stored] : docs_) {
+      for (const auto& [id, stored] : shard.docs) {
         if (stored.doc.contains(field) && stored.doc.at(field) == value) {
           out.push_back(id);
         }
       }
-      std::sort(out.begin(), out.end());
     }
   }
+  std::sort(out.begin(), out.end());
   charge(64 + out.size() * 8);
   return out;
 }
@@ -229,39 +318,52 @@ std::vector<DocId> Collection::find_range(const std::string& field,
                                           const Value& lo,
                                           const Value& hi) const {
   std::vector<DocId> out;
-  {
-    std::shared_lock lock(mutex_);
-    auto idx = indexes_.find(field);
-    if (idx != indexes_.end()) {
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::shared_lock lock(shard.mutex);
+    auto idx = shard.indexes.find(field);
+    if (idx != shard.indexes.end()) {
       for (auto it = idx->second.lower_bound(lo);
            it != idx->second.end() && it->first < hi; ++it) {
         out.insert(out.end(), it->second.begin(), it->second.end());
       }
     } else {
-      for (const auto& [id, stored] : docs_) {
+      for (const auto& [id, stored] : shard.docs) {
         if (!stored.doc.contains(field)) continue;
         const Value& v = stored.doc.at(field);
         if (!(v < lo) && v < hi) out.push_back(id);
       }
-      std::sort(out.begin(), out.end());
     }
   }
+  std::sort(out.begin(), out.end());
   charge(64 + out.size() * 8);
   return out;
 }
 
 void Collection::scan(
     const std::function<void(DocId, const Value&)>& fn) const {
-  std::shared_lock lock(mutex_);
-  for (const auto& [id, stored] : docs_) fn(id, stored.doc);
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::shared_lock lock(shard.mutex);
+    for (const auto& [id, stored] : shard.docs) fn(id, stored.doc);
+  }
 }
 
 std::vector<DocId> Collection::all_ids() const {
+  std::vector<std::vector<DocId>> per_shard(shards_.size());
+  // size() is a cheap pre-pass (one uncontended shared lock per shard) and
+  // sizes the fan-out decision plus the merge reservation.
+  const std::size_t total = size();
+  for_each_shard(total, [&](std::size_t s) {
+    const Shard& shard = *shards_[s];
+    std::shared_lock lock(shard.mutex);
+    per_shard[s].reserve(shard.docs.size());
+    for (const auto& [id, _] : shard.docs) per_shard[s].push_back(id);
+  });
   std::vector<DocId> out;
-  {
-    std::shared_lock lock(mutex_);
-    out.reserve(docs_.size());
-    for (const auto& [id, _] : docs_) out.push_back(id);
+  out.reserve(total);
+  for (auto& ids : per_shard) {
+    out.insert(out.end(), ids.begin(), ids.end());
   }
   std::sort(out.begin(), out.end());
   charge(64 + out.size() * 8);
@@ -269,53 +371,63 @@ std::vector<DocId> Collection::all_ids() const {
 }
 
 std::size_t Collection::size() const {
-  std::shared_lock lock(mutex_);
-  return docs_.size();
+  std::size_t total = 0;
+  for (const auto& shard_ptr : shards_) {
+    std::shared_lock lock(shard_ptr->mutex);
+    total += shard_ptr->docs.size();
+  }
+  return total;
 }
 
 std::size_t Collection::approx_bytes() const {
-  std::shared_lock lock(mutex_);
-  return payload_bytes_;
+  std::size_t total = 0;
+  for (const auto& shard_ptr : shards_) {
+    std::shared_lock lock(shard_ptr->mutex);
+    total += shard_ptr->payload_bytes;
+  }
+  return total;
 }
 
 std::vector<std::string> Collection::index_fields() const {
-  std::shared_lock lock(mutex_);
+  std::shared_lock lock(shards_[0]->mutex);
   std::vector<std::string> fields;
-  fields.reserve(indexes_.size());
-  for (const auto& [field, _] : indexes_) fields.push_back(field);
+  fields.reserve(shards_[0]->indexes.size());
+  for (const auto& [field, _] : shards_[0]->indexes) fields.push_back(field);
   std::sort(fields.begin(), fields.end());
   return fields;
 }
 
 DocId Collection::next_id() const {
-  std::shared_lock lock(mutex_);
-  return next_id_;
+  return next_id_.load(std::memory_order_relaxed);
 }
 
 void Collection::restore(DocId next_id,
                          std::vector<std::pair<DocId, Value>> documents) {
-  std::unique_lock lock(mutex_);
-  FAIRDMS_CHECK(docs_.empty(), "restore into non-empty collection '", name_,
+  FAIRDMS_CHECK(size() == 0, "restore into non-empty collection '", name_,
                 "'");
-  next_id_ = next_id;
+  next_id_.store(next_id, std::memory_order_relaxed);
   for (auto& [id, doc] : documents) {
     FAIRDMS_CHECK(doc.is_object(), "restore: document must be an object");
     FAIRDMS_CHECK(id < next_id, "restore: id ", id, " >= next_id ", next_id);
     const std::size_t bytes = doc_bytes(doc);
-    payload_bytes_ += bytes;
-    index_insert_locked(id, doc);
-    docs_.emplace(id, StoredDoc{std::move(doc), bytes});
+    Shard& shard = shard_of(id);
+    std::unique_lock lock(shard.mutex);
+    shard.payload_bytes += bytes;
+    index_insert_locked(shard, id, doc);
+    shard.docs.emplace(id, StoredDoc{std::move(doc), bytes});
   }
 }
 
-void Collection::index_insert_locked(DocId id, const Value& doc) {
-  for (auto& [field, index] : indexes_) {
+void Collection::index_insert_locked(Shard& shard, DocId id,
+                                     const Value& doc) {
+  for (auto& [field, index] : shard.indexes) {
     if (doc.contains(field)) index[doc.at(field)].push_back(id);
   }
 }
 
-void Collection::index_remove_locked(DocId id, const Value& doc) {
-  for (auto& [field, index] : indexes_) {
+void Collection::index_remove_locked(Shard& shard, DocId id,
+                                     const Value& doc) {
+  for (auto& [field, index] : shard.indexes) {
     if (!doc.contains(field)) continue;
     auto it = index.find(doc.at(field));
     if (it == index.end()) continue;
@@ -325,17 +437,26 @@ void Collection::index_remove_locked(DocId id, const Value& doc) {
   }
 }
 
-Collection& DocStore::collection(const std::string& name) {
+Collection& DocStore::collection(const std::string& name,
+                                 std::size_t shards) {
+  const std::size_t want = shards == 0 ? default_shards_ : shards;
   {
     std::shared_lock lock(mutex_);
     auto it = collections_.find(name);
-    if (it != collections_.end()) return *it->second;
+    if (it != collections_.end()) {
+      if (shards != 0 && it->second->shard_count() != want) {
+        util::log_info("collection '", name, "' already exists with ",
+                       it->second->shard_count(), " shard(s); requested ",
+                       want, " ignored (live resharding unsupported)");
+      }
+      return *it->second;
+    }
   }
   std::unique_lock lock(mutex_);
   auto& slot = collections_[name];
   if (!slot) {
-    slot = std::make_unique<Collection>(name,
-                                        is_remote() ? &link_ : nullptr);
+    slot = std::make_unique<Collection>(name, is_remote() ? &link_ : nullptr,
+                                        want);
   }
   return *slot;
 }

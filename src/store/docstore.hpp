@@ -6,8 +6,35 @@
 // writes. Documents are store::Value objects; every document receives an
 // integral `_id`. An optional RemoteLink charges network time per operation,
 // modeling the remotely hosted deployment of the paper's evaluation.
+//
+// Sharding: a collection is partitioned into N hash-sharded sub-stores
+// (DocId -> shard by `id % N`), each with its own shared_mutex, document
+// map, secondary indexes, and byte accounting, so concurrent writes to
+// different shards proceed in parallel instead of queueing on one writer
+// lock (the detector-rate ingest path). Batched operations fan out
+// per-shard — on the global util::ThreadPool above a size threshold — and
+// merge results deterministically. N = 1 (the default) is byte-for-byte
+// the previous single-lock collection.
+//
+// Semantics that hold for every shard count:
+//  * find_eq / find_range / all_ids return ids in ascending order,
+//    regardless of insert/update history.
+//  * find_many: out[i] answers ids[i]; duplicate ids are each resolved and
+//    charged independently; missing ids yield nullopt and cost only their
+//    share of the request envelope.
+//  * update_fields / update_many on a missing id return false / don't count
+//    it, but still charge the encoded value bytes — the values travel to
+//    the server whether or not the document exists.
+//  * RemoteLink charges are shard-count independent: one request envelope
+//    per logical operation, value bytes summed across shards.
+//  * Operations touching multiple shards (find_many, all_ids, scan, size,
+//    approx_bytes, ...) are not atomic across shards under concurrent
+//    writers: each shard is observed at its own lock acquisition. Any
+//    single document is always observed consistently (per-shard locks
+//    cover whole update_fields applications).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -29,27 +56,34 @@ using DocId = std::uint64_t;
 
 class Collection {
  public:
-  explicit Collection(std::string name, const RemoteLink* link = nullptr)
-      : name_(std::move(name)), link_(link) {}
+  /// `shards` >= 1; 1 keeps the single-lock behavior, higher counts enable
+  /// parallel ingest at the cost of per-shard index fragmentation.
+  explicit Collection(std::string name, const RemoteLink* link = nullptr,
+                      std::size_t shards = 1);
 
   [[nodiscard]] const std::string& collection_name() const { return name_; }
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
 
   /// Inserts a document (object Value), returns its _id. The `_id` field is
-  /// added/overwritten on the stored copy.
+  /// added/overwritten on the stored copy. Ids are allocated from one
+  /// atomic counter, so concurrent inserters never block each other on
+  /// allocation and only serialize within one shard.
   DocId insert_one(Value doc);
-  /// Bulk insert; returns ids in order. One exclusive lock for the batch —
+  /// Bulk insert; returns ids in order (one contiguous id block). One
+  /// exclusive lock per touched shard and one batched round-trip charge —
   /// the "parallel writes during data update" path of the paper.
   std::vector<DocId> insert_many(std::vector<Value> docs);
 
   /// Fetches a document copy by id.
   [[nodiscard]] std::optional<Value> find_by_id(DocId id) const;
 
-  /// Batched fetch: one shared lock and one batched round-trip charge for
-  /// the whole id list. `out[i]` is nullopt when `ids[i]` is absent. When
-  /// `fields` is non-empty only those fields are copied out (documents
-  /// missing a projected field simply omit it) and only their bytes are
-  /// charged — the "fetch many members, but only the columns you need"
-  /// path the reuse workload hits.
+  /// Batched fetch: one shared lock per touched shard and one batched
+  /// round-trip charge for the whole id list. `out[i]` is nullopt when
+  /// `ids[i]` is absent; duplicate ids are each resolved (and charged)
+  /// independently. When `fields` is non-empty only those fields are
+  /// copied out (documents missing a projected field simply omit it) and
+  /// only their bytes are charged — the "fetch many members, but only the
+  /// columns you need" path the reuse workload hits.
   [[nodiscard]] std::vector<std::optional<Value>> find_many(
       std::span<const DocId> ids,
       std::span<const std::string> fields = {}) const;
@@ -57,48 +91,60 @@ class Collection {
   /// Replaces document `id`; returns false if absent.
   bool replace_one(DocId id, Value doc);
   /// Sets a single field on document `id`; returns false if absent.
-  /// Charges the encoded value size (plus envelope), not a flat constant.
+  /// Charges the encoded value size (plus envelope), not a flat constant —
+  /// whether or not the document exists.
   bool update_field(DocId id, const std::string& field, Value value);
   /// Sets several fields on document `id` under one lock with one charge.
+  /// All fields land atomically: a concurrent reader sees either none or
+  /// all of them.
   bool update_fields(DocId id, Object fields);
-  /// Applies many per-document field updates under one exclusive lock and
-  /// one batched round-trip charge (the retrain re-assignment pass).
-  /// Returns the number of documents found and updated.
+  /// Applies many per-document field updates under one exclusive lock per
+  /// touched shard and one batched round-trip charge (the retrain
+  /// re-assignment pass). Updates to the same id apply in list order.
+  /// Returns the number of documents found and updated (missing ids still
+  /// charge their value bytes).
   std::size_t update_many(std::vector<std::pair<DocId, Object>> updates);
   bool remove_one(DocId id);
 
   /// Secondary index on a scalar field. Indexes are maintained on every
   /// subsequent insert/update; existing documents are indexed on creation.
+  /// Each shard indexes its own documents.
   void create_index(const std::string& field);
   [[nodiscard]] bool has_index(const std::string& field) const;
 
-  /// ids of documents whose `field` equals `value`. Uses the index when one
-  /// exists, otherwise a collection scan.
+  /// ids of documents whose `field` equals `value`, ascending. Uses the
+  /// per-shard indexes when they exist, otherwise a collection scan.
   [[nodiscard]] std::vector<DocId> find_eq(const std::string& field,
                                            const Value& value) const;
-  /// ids with lo <= field < hi (ordered-index range scan or collection scan).
+  /// ids with lo <= field < hi, ascending (per-shard ordered-index range
+  /// scans or collection scans, merged).
   [[nodiscard]] std::vector<DocId> find_range(const std::string& field,
                                               const Value& lo,
                                               const Value& hi) const;
 
-  /// Applies fn to every (id, doc) under a shared lock.
+  /// Applies fn to every (id, doc) under a shared lock, one shard at a
+  /// time in shard order (document order within a shard is unspecified).
   void scan(const std::function<void(DocId, const Value&)>& fn) const;
 
-  /// All document ids, ascending. One shared lock, charged like an index
-  /// scan (ids only, not payloads).
+  /// All document ids, ascending. One shared lock per shard, charged like
+  /// an index scan (ids only, not payloads).
   [[nodiscard]] std::vector<DocId> all_ids() const;
 
   [[nodiscard]] std::size_t size() const;
 
-  /// Approximate resident bytes (document payloads only).
+  /// Approximate resident bytes (document payloads only, summed over
+  /// shards).
   [[nodiscard]] std::size_t approx_bytes() const;
 
   /// Fields with secondary indexes (snapshot support).
   [[nodiscard]] std::vector<std::string> index_fields() const;
-  /// Highest-issued-plus-one document id (snapshot support).
+  /// Highest-issued-plus-one document id (snapshot support). Under
+  /// concurrent inserters this is a lower bound on the next allocation.
   [[nodiscard]] DocId next_id() const;
   /// Restores a snapshot into an *empty* collection: sets the id counter,
   /// inserts documents under their original ids, rebuilds all indexes.
+  /// The on-disk format is shard-count agnostic: a snapshot written by an
+  /// N-shard collection loads into an M-shard one.
   void restore(DocId next_id,
                std::vector<std::pair<DocId, Value>> documents);
 
@@ -110,13 +156,44 @@ class Collection {
     std::size_t bytes = 0;
   };
 
-  void index_insert_locked(DocId id, const Value& doc);
-  void index_remove_locked(DocId id, const Value& doc);
-  /// Applies `fields` to an existing document under the exclusive lock,
-  /// maintaining indexes, the cached size, and payload_bytes_. Returns the
-  /// encoded request-payload bytes to charge — the values travel to the
-  /// server whether or not the document exists, so absent ids charge too.
-  std::size_t update_fields_locked(DocId id, Object&& fields, bool& found);
+  /// One hash shard: an independent single-lock sub-store. Heap-allocated
+  /// (shared_mutex is immovable) and never resized after construction, so
+  /// shard lookup itself is lock-free.
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    std::unordered_map<DocId, StoredDoc> docs;
+    std::size_t payload_bytes = 0;
+    /// field -> (value -> ids); std::map keys give ordered range scans.
+    std::unordered_map<std::string, std::map<Value, std::vector<DocId>>>
+        indexes;
+  };
+
+  [[nodiscard]] std::size_t shard_index(DocId id) const {
+    // Power-of-two counts (the common configs: 1, 2, 4, 8) take the mask
+    // fast path; anything else pays one integer division.
+    if (shard_mask_ != 0 || shards_.size() == 1) {
+      return static_cast<std::size_t>(id & shard_mask_);
+    }
+    return static_cast<std::size_t>(id % shards_.size());
+  }
+  [[nodiscard]] Shard& shard_of(DocId id) const {
+    return *shards_[shard_index(id)];
+  }
+  /// Runs body(shard_idx) for every shard — in parallel on the global
+  /// thread pool when the collection is sharded and the operation is large
+  /// enough (`items` work items) to amortize the dispatch.
+  void for_each_shard(std::size_t items,
+                      const std::function<void(std::size_t)>& body) const;
+
+  static void index_insert_locked(Shard& shard, DocId id, const Value& doc);
+  static void index_remove_locked(Shard& shard, DocId id, const Value& doc);
+  /// Applies `fields` to an existing document under the shard's exclusive
+  /// lock, maintaining indexes, the cached size, and payload_bytes.
+  /// Returns the encoded request-payload bytes to charge — the values
+  /// travel to the server whether or not the document exists, so absent
+  /// ids charge too.
+  static std::size_t update_fields_locked(Shard& shard, DocId id,
+                                          Object&& fields, bool& found);
   void charge(std::size_t bytes) const {
     if (link_ != nullptr) link_->charge(bytes);
   }
@@ -124,13 +201,17 @@ class Collection {
 
   std::string name_;
   const RemoteLink* link_;
-  mutable std::shared_mutex mutex_;
-  DocId next_id_ = 1;
-  std::unordered_map<DocId, StoredDoc> docs_;
-  std::size_t payload_bytes_ = 0;
-  /// field -> (value -> ids); std::map keys give ordered range scans.
-  std::unordered_map<std::string, std::map<Value, std::vector<DocId>>>
-      indexes_;
+  std::atomic<DocId> next_id_{1};
+  std::vector<std::unique_ptr<Shard>> shards_;
+  DocId shard_mask_ = 0;  ///< shards-1 when the count is a power of two
+};
+
+/// DocStore construction knobs: the remote-link model plus the default
+/// shard count applied to collections created without an explicit count.
+struct DocStoreConfig {
+  RemoteLinkConfig link{.latency_seconds = 0.0,
+                        .bandwidth_bytes_per_s = 1e12};
+  std::size_t shards = 1;
 };
 
 /// A named set of collections, sharing one remote-link model.
@@ -138,11 +219,17 @@ class DocStore {
  public:
   DocStore() = default;
   explicit DocStore(RemoteLinkConfig link_config) : link_(link_config) {}
+  explicit DocStore(DocStoreConfig config)
+      : link_(config.link), default_shards_(std::max<std::size_t>(1, config.shards)) {}
 
-  /// Gets or creates a collection.
-  Collection& collection(const std::string& name);
+  /// Gets or creates a collection. `shards == 0` means the store default.
+  /// The shard count only applies on creation; getting an existing
+  /// collection with a different non-zero count returns the existing one
+  /// unchanged (resharding a live collection is not supported).
+  Collection& collection(const std::string& name, std::size_t shards = 0);
   [[nodiscard]] bool has_collection(const std::string& name) const;
   [[nodiscard]] std::vector<std::string> collection_names() const;
+  [[nodiscard]] std::size_t default_shards() const { return default_shards_; }
 
   [[nodiscard]] const RemoteLink& link() const { return link_; }
   [[nodiscard]] bool is_remote() const {
@@ -152,6 +239,7 @@ class DocStore {
  private:
   RemoteLink link_{RemoteLinkConfig{.latency_seconds = 0.0,
                                     .bandwidth_bytes_per_s = 1e12}};
+  std::size_t default_shards_ = 1;
   mutable std::shared_mutex mutex_;
   std::map<std::string, std::unique_ptr<Collection>> collections_;
 };

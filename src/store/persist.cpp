@@ -48,24 +48,36 @@ std::string collection_path(const std::string& directory,
 }
 
 void save_collection(const Collection& col, const std::string& path) {
+  // Collect first, frame after: scan/size/next_id are three independent
+  // snapshots on a (possibly sharded) live collection, so the file header
+  // must describe what the scan actually captured, and next_id must be
+  // read *after* the scan — every captured id was allocated before the
+  // scan finished, so a post-scan next_id() bounds them all and restore's
+  // `id < next_id` check holds. Under concurrent writers the result is a
+  // fuzzy but always-loadable point-in-time snapshot.
+  std::vector<std::pair<DocId, Binary>> docs;
+  col.scan([&](DocId id, const Value& doc) {
+    Binary buf;
+    doc.encode(buf);
+    docs.emplace_back(id, std::move(buf));
+  });
+  const DocId next_id = col.next_id();
+  const auto fields = col.index_fields();
+
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   FAIRDMS_CHECK(out.good(), "cannot write snapshot file ", path);
   put_u32(out, kCollectionMagic);
   put_u32(out, kVersion);
-  put_u64(out, col.next_id());
-  const auto fields = col.index_fields();
+  put_u64(out, next_id);
   put_u64(out, fields.size());
   for (const auto& field : fields) put_string(out, field);
-  put_u64(out, col.size());
-  Binary buf;
-  col.scan([&](DocId id, const Value& doc) {
+  put_u64(out, docs.size());
+  for (const auto& [id, buf] : docs) {
     put_u64(out, id);
-    buf.clear();
-    doc.encode(buf);
     put_u64(out, buf.size());
     out.write(reinterpret_cast<const char*>(buf.data()),
               static_cast<std::streamsize>(buf.size()));
-  });
+  }
   FAIRDMS_CHECK(out.good(), "snapshot write failed for ", path);
 }
 

@@ -16,6 +16,10 @@ namespace fairdms::store {
 
 /// Writes every collection of `db` under `directory` (created if missing).
 /// Layout: <directory>/manifest.bin + one .col file per collection.
+/// Safe to call while writers are active: each collection file is a fuzzy
+/// point-in-time snapshot (documents committed near the scan may or may
+/// not be captured, and cross-shard atomicity is not promised) but is
+/// always internally consistent and loadable.
 void save_store(const DocStore& db, const std::string& directory);
 
 /// Loads a snapshot into `db`. Collections are created as needed; loading

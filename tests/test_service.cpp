@@ -360,5 +360,66 @@ TEST(ModelZooEdges, ConcurrentPublishFromMultipleThreads) {
             static_cast<std::size_t>(kThreads * kPerThread));
 }
 
+// --- sharded-store plumbing through FairDS and the service layer ------------
+
+TEST(ShardedServing, StoreShardsPlumbThroughConfigAndStats) {
+  store::DocStore db;
+  const nn::Batchset history = regime_data(0.0, 64, 301);
+  auto config = small_config();
+  config.store_shards = 4;
+  fairds::FairDS ds(config, db);
+  EXPECT_EQ(ds.store_shards(), 4u);
+  ds.train_system(history.xs);
+  ds.ingest(history.xs, history.ys, "history_0");
+
+  // A matching declared shard count is accepted and surfaces in stats.
+  service::DataService service(ds, {.workers = 2, .store_shards = 4});
+  auto future = service.submit(
+      service::LabelRequest{history.xs, 1e9, zero_labeler});
+  future.get();
+  EXPECT_EQ(service.stats().store_shards, 4u);
+}
+
+TEST(ShardedServing, UserPlaneResultsIdenticalAcrossShardCounts) {
+  // End-to-end fairDS parity: the shard count is a concurrency knob, never
+  // a results knob. Identical training + ingest over 1-shard and 8-shard
+  // stores must serve identical distributions, lookups, and reuse labels.
+  const nn::Batchset history = regime_data(0.0, 96, 303);
+  const nn::Batchset query = regime_data(0.05, 24, 304);
+
+  auto run = [&](std::size_t shards) {
+    auto db = std::make_unique<store::DocStore>();
+    auto config = small_config();
+    config.store_shards = shards;
+    fairds::FairDS ds(config, *db);
+    ds.train_system(history.xs);
+    ds.ingest(history.xs, history.ys, "history_0");
+    struct Out {
+      std::vector<double> pdf;
+      nn::Batchset lookup;
+      nn::Batchset labeled;
+      fairds::ReuseStats reuse;
+    } out;
+    out.pdf = ds.distribution(query.xs);
+    out.lookup = ds.lookup(query.xs, /*seed=*/7);
+    out.labeled = ds.lookup_or_label(query.xs, 0.75, zero_labeler, &out.reuse);
+    return out;
+  };
+
+  const auto base = run(1);
+  const auto sharded = run(8);
+  EXPECT_EQ(base.pdf, sharded.pdf);
+  EXPECT_EQ(base.reuse.reused, sharded.reuse.reused);
+  EXPECT_EQ(base.reuse.computed, sharded.reuse.computed);
+  ASSERT_EQ(base.lookup.ys.numel(), sharded.lookup.ys.numel());
+  for (std::size_t i = 0; i < base.lookup.ys.numel(); ++i) {
+    EXPECT_EQ(base.lookup.ys[i], sharded.lookup.ys[i]) << "lookup ys " << i;
+  }
+  ASSERT_EQ(base.labeled.ys.numel(), sharded.labeled.ys.numel());
+  for (std::size_t i = 0; i < base.labeled.ys.numel(); ++i) {
+    EXPECT_EQ(base.labeled.ys[i], sharded.labeled.ys[i]) << "labeled ys " << i;
+  }
+}
+
 }  // namespace
 }  // namespace fairdms
