@@ -8,6 +8,9 @@
 //     drops, a background retrain builds the next snapshot and atomically
 //     publishes it — the clients never stop, and their responses show the
 //     version flip mid-stream.
+//   * Model plane: a small ModelZoo serves foundation recommendations
+//     through the same service; the parameter-blob cache makes the repeat
+//     recommend + foundation load free (counters in ServiceStats).
 //
 // Build & run:  ./build/examples/serving_loop
 #include <atomic>
@@ -18,6 +21,7 @@
 
 #include "datagen/bragg.hpp"
 #include "fairds/fairds.hpp"
+#include "fairms/zoo.hpp"
 #include "service/data_service.hpp"
 
 int main() {
@@ -53,11 +57,26 @@ int main() {
               static_cast<unsigned long long>(
                   data_service.snapshot()->version()));
 
+  // Model plane: register a few historical models keyed by the cluster
+  // PDFs of their training scans (dummy weight blobs — this demo exercises
+  // ranking and caching, not inference). Publishing pre-warms the
+  // parameter-blob cache, so the first recommend is already served from
+  // memory.
+  fairms::ModelZoo zoo(db);
+  for (std::size_t scan : {0u, 2u, 4u}) {
+    const nn::Batchset scan_data = timeline.dataset_at(scan, 96, 50 + scan);
+    zoo.publish("braggnn", "scan_" + std::to_string(scan),
+                data_service.distribution(scan_data.xs),
+                std::vector<std::uint8_t>(4096, static_cast<std::uint8_t>(scan)));
+  }
+  fairms::ModelManager manager(zoo, /*distance_threshold=*/0.9);
+
   // Serving facade: auto-retrain probes every labeled batch for drift. The
   // declared store_shards is checked against the data tier at construction.
   service::DataService service(
       data_service,
-      {.workers = 3, .auto_retrain = true, .store_shards = 4});
+      {.workers = 3, .auto_retrain = true, .store_shards = 4},
+      &manager);
 
   const auto voigt_labeler = [](const nn::Tensor& xs) {
     // Stand-in for the conventional pseudo-Voigt fit: label = centroid.
@@ -105,6 +124,24 @@ int main() {
   for (auto& t : clients) t.join();
   service.wait_idle();  // let the last background retrain finish
 
+  // Model plane: which zoo model is the best foundation for the latest
+  // batch? The repeat recommend ranks entirely from the cache.
+  const nn::Batchset latest = timeline.dataset_at(8, 24, 999);
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const auto response =
+        service.submit(service::RecommendRequest{"braggnn", latest.xs}).get();
+    if (response.pick.has_value()) {
+      std::printf(
+          "recommend #%d: foundation model %llu at JSD %.3f (%.2f ms)\n",
+          attempt + 1,
+          static_cast<unsigned long long>(response.pick->model_id),
+          response.pick->distance, response.seconds * 1e3);
+    } else {
+      std::printf("recommend #%d: no model within threshold — train from "
+                  "scratch\n", attempt + 1);
+    }
+  }
+
   const auto stats = service.stats();
   std::printf(
       "\nserved %llu label requests (%llu samples: %zu reused, %zu "
@@ -117,5 +154,11 @@ int main() {
               static_cast<unsigned long long>(stats.retrains),
               static_cast<unsigned long long>(
                   data_service.snapshot()->version()));
+  std::printf("model cache: %llu hits / %llu misses, %llu evictions, "
+              "%llu bytes resident\n",
+              static_cast<unsigned long long>(stats.model_cache_hits),
+              static_cast<unsigned long long>(stats.model_cache_misses),
+              static_cast<unsigned long long>(stats.model_cache_evictions),
+              static_cast<unsigned long long>(stats.model_cache_bytes));
   return 0;
 }

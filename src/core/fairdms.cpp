@@ -11,7 +11,7 @@ FairDMS::FairDMS(FairDMSConfig config, fairds::FairDS& data_service,
                  store::DocStore& db)
     : config_(std::move(config)),
       ds_(&data_service),
-      zoo_(db),
+      zoo_(db, config_.model_cache_bytes),
       manager_(zoo_, config_.distance_threshold),
       // The update workflow submits one request at a time, so two workers
       // suffice; background retrain stays an explicit caller decision here.
@@ -38,11 +38,11 @@ store::DocId FairDMS::train_and_publish(models::TaskModel& model,
 }
 
 models::TaskModel FairDMS::materialize(store::DocId id) {
-  const auto record = zoo_.fetch(id);
-  FAIRDMS_CHECK(record.has_value(), "zoo model ", id, " not found");
+  const auto record = zoo_.fetch_cached(id);
+  FAIRDMS_CHECK(record != nullptr, "zoo model ", id, " not found");
   models::TaskModel model = models::make_model(
       record->architecture, config_.seed, config_.patch_size);
-  nn::load_parameters(model.net, record->parameters);
+  nn::load_parameters(model.net, *record->parameters);
   return model;
 }
 
@@ -96,9 +96,12 @@ UpdateReport FairDMS::update_model(
             .get();
     report.recommend_seconds = timer.seconds();
     if (recommendation.pick.has_value()) {
-      const auto record = zoo_.fetch(recommendation.pick->model_id);
-      FAIRDMS_CHECK(record.has_value(), "recommended model vanished");
-      nn::load_parameters(model.net, record->parameters);
+      // Cached load: a foundation picked repeatedly (the steady state when
+      // the data distribution is stable) transfers zero store bytes after
+      // its first fetch.
+      const auto record = zoo_.fetch_cached(recommendation.pick->model_id);
+      FAIRDMS_CHECK(record != nullptr, "recommended model vanished");
+      nn::load_parameters(model.net, *record->parameters);
       report.fine_tuned = true;
       report.foundation_distance = recommendation.pick->distance;
       lr = config_.fine_tune_lr;

@@ -8,17 +8,31 @@
 namespace fairdms::fairms {
 
 namespace {
-std::vector<double> normalized(std::span<const double> p) {
+
+/// Total mass of `p`, or nullopt when `p` is not a valid distribution —
+/// the single definition of validity that is_valid_pdf and try_normalized
+/// both gate on (they must never disagree about the same record).
+std::optional<double> checked_total(std::span<const double> p) noexcept {
+  if (p.empty()) return std::nullopt;
   double total = 0.0;
   for (double v : p) {
-    FAIRDMS_CHECK(v >= 0.0, "distribution has negative mass");
+    if (!std::isfinite(v) || v < 0.0) return std::nullopt;
     total += v;
   }
-  FAIRDMS_CHECK(total > 0.0, "distribution has zero mass");
-  std::vector<double> out(p.begin(), p.end());
-  for (double& v : out) v /= total;
-  return out;
+  if (!(total > 0.0) || !std::isfinite(total)) return std::nullopt;
+  return total;
 }
+
+/// Aborting wrapper over try_normalized for the callers whose contract is
+/// "a malformed distribution is a caller bug".
+std::vector<double> normalized(std::span<const double> p) {
+  auto out = try_normalized(p);
+  FAIRDMS_CHECK(out.has_value(),
+                "distribution is not normalizable (empty, negative or "
+                "non-finite mass, or zero total)");
+  return std::move(*out);
+}
+
 }  // namespace
 
 double kl_divergence(std::span<const double> p, std::span<const double> q) {
@@ -34,15 +48,31 @@ double kl_divergence(std::span<const double> p, std::span<const double> q) {
 
 double jensen_shannon_divergence(std::span<const double> p,
                                  std::span<const double> q) {
-  FAIRDMS_CHECK(p.size() == q.size(), "JSD: size mismatch (", p.size(),
-                " vs ", q.size(), ")");
   const std::vector<double> pn = normalized(p);
   const std::vector<double> qn = normalized(q);
+  return jsd_normalized(pn, qn);
+}
+
+bool is_valid_pdf(std::span<const double> p) noexcept {
+  return checked_total(p).has_value();
+}
+
+std::optional<std::vector<double>> try_normalized(std::span<const double> p) {
+  const auto total = checked_total(p);
+  if (!total.has_value()) return std::nullopt;
+  std::vector<double> out(p.begin(), p.end());
+  for (double& v : out) v /= *total;
+  return out;
+}
+
+double jsd_normalized(std::span<const double> p, std::span<const double> q) {
+  FAIRDMS_CHECK(p.size() == q.size(), "JSD: size mismatch (", p.size(),
+                " vs ", q.size(), ")");
   double sum = 0.0;
-  for (std::size_t i = 0; i < pn.size(); ++i) {
-    const double m = 0.5 * (pn[i] + qn[i]);
-    if (pn[i] > 0.0) sum += 0.5 * pn[i] * std::log2(pn[i] / m);
-    if (qn[i] > 0.0) sum += 0.5 * qn[i] * std::log2(qn[i] / m);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double m = 0.5 * (p[i] + q[i]);
+    if (p[i] > 0.0) sum += 0.5 * p[i] * std::log2(p[i] / m);
+    if (q[i] > 0.0) sum += 0.5 * q[i] * std::log2(q[i] / m);
   }
   // Clamp tiny negative rounding residue.
   return sum < 0.0 ? 0.0 : sum;

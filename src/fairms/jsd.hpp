@@ -3,7 +3,9 @@
 // distributions, 1 for distributions with disjoint support.
 #pragma once
 
+#include <optional>
 #include <span>
+#include <vector>
 
 namespace fairdms::fairms {
 
@@ -15,5 +17,21 @@ double kl_divergence(std::span<const double> p, std::span<const double> q);
 /// Inputs are normalized internally (all-zero inputs abort).
 double jensen_shannon_divergence(std::span<const double> p,
                                  std::span<const double> q);
+
+/// True when `p` is a usable (unnormalized) distribution: non-empty, every
+/// entry finite and non-negative, total mass positive and finite. The
+/// validation gate the ModelZoo applies at publish/reindex time.
+[[nodiscard]] bool is_valid_pdf(std::span<const double> p) noexcept;
+
+/// Normalized copy of `p`, or nullopt when !is_valid_pdf(p). The
+/// non-aborting sibling of the internal normalizer: serving paths use it to
+/// skip malformed stored distributions instead of crashing the worker.
+[[nodiscard]] std::optional<std::vector<double>> try_normalized(
+    std::span<const double> p);
+
+/// JSD of two *already normalized* distributions — no validation, no
+/// normalization pass, no allocation. The hot ranking kernel: callers
+/// normalize the query once and stored PDFs once per revision (cached).
+double jsd_normalized(std::span<const double> p, std::span<const double> q);
 
 }  // namespace fairdms::fairms

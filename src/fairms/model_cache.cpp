@@ -1,0 +1,182 @@
+#include "fairms/model_cache.hpp"
+
+#include <utility>
+
+namespace fairdms::fairms {
+
+namespace {
+/// Per-entry bookkeeping overhead (map node, LRU node, control blocks) so a
+/// budget of N small entries doesn't admit an unbounded count of tiny PDFs.
+constexpr std::size_t kEntryOverhead = 64;
+}  // namespace
+
+ModelCache::ModelCache(std::size_t budget_bytes)
+    : budget_bytes_(budget_bytes) {}
+
+std::size_t ModelCache::record_bytes(std::size_t blob_bytes,
+                                     std::size_t pdf_len,
+                                     std::size_t arch_len,
+                                     std::size_t dataset_len) {
+  return kEntryOverhead + blob_bytes + pdf_len * sizeof(double) + arch_len +
+         dataset_len;
+}
+
+std::size_t ModelCache::record_bytes(const CachedModel& record) {
+  return record_bytes(
+      record.parameters != nullptr ? record.parameters->size() : 0,
+      record.train_pdf.size(), record.architecture.size(),
+      record.dataset_id.size());
+}
+
+bool ModelCache::admits_record(std::size_t blob_bytes, std::size_t pdf_len,
+                               std::size_t arch_len,
+                               std::size_t dataset_len) const {
+  std::lock_guard lock(mutex_);
+  return record_bytes(blob_bytes, pdf_len, arch_len, dataset_len) <=
+         budget_bytes_;
+}
+
+std::size_t ModelCache::pdf_bytes(const std::vector<double>& pdf) {
+  return kEntryOverhead + pdf.size() * sizeof(double);
+}
+
+void ModelCache::touch_locked(Entry& entry) {
+  lru_.splice(lru_.begin(), lru_, entry.lru_it);
+}
+
+void ModelCache::erase_locked(const Key& key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  resident_bytes_ -= it->second.bytes;
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+void ModelCache::insert_locked(const Key& key, Entry&& entry) {
+  erase_locked(key);
+  if (entry.bytes > budget_bytes_) return;  // would evict the whole cache
+  lru_.push_front(key);
+  entry.lru_it = lru_.begin();
+  resident_bytes_ += entry.bytes;
+  entries_.emplace(key, std::move(entry));
+  evict_to_budget_locked();
+}
+
+void ModelCache::evict_to_budget_locked() {
+  while (resident_bytes_ > budget_bytes_ && !lru_.empty()) {
+    erase_locked(lru_.back());
+    ++evictions_;
+  }
+}
+
+ModelCache::RecordPtr ModelCache::get_record(store::DocId id) {
+  std::lock_guard lock(mutex_);
+  const auto it = entries_.find(Key{id, /*is_pdf=*/false});
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  touch_locked(it->second);
+  return it->second.record;
+}
+
+void ModelCache::put_record(RecordPtr record) {
+  if (record == nullptr) return;
+  std::lock_guard lock(mutex_);
+  const auto floor = floors_.find(record->id);
+  if (floor != floors_.end() && record->revision < floor->second) {
+    return;  // raced a mutation: this read is already stale
+  }
+  Entry entry;
+  entry.revision = record->revision;
+  entry.bytes = record_bytes(*record);
+  entry.record = std::move(record);
+  insert_locked(Key{entry.record->id, /*is_pdf=*/false}, std::move(entry));
+}
+
+ModelCache::PdfPtr ModelCache::get_pdf(store::DocId id,
+                                       std::uint64_t revision) {
+  std::lock_guard lock(mutex_);
+  const Key key{id, /*is_pdf=*/true};
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  if (it->second.revision != revision) {
+    // Only evict a *stale* entry. A newer cached revision means the
+    // caller's store read raced a mutation — dropping the writer's fresh
+    // pre-warm would force the next reader to refetch for nothing.
+    if (it->second.revision < revision) {
+      erase_locked(key);
+      ++invalidations_;
+    }
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  touch_locked(it->second);
+  return it->second.pdf;
+}
+
+void ModelCache::put_pdf(store::DocId id, std::uint64_t revision,
+                         PdfPtr pdf) {
+  if (pdf == nullptr) return;
+  std::lock_guard lock(mutex_);
+  const auto floor = floors_.find(id);
+  if (floor != floors_.end() && revision < floor->second) return;
+  Entry entry;
+  entry.revision = revision;
+  entry.bytes = pdf_bytes(*pdf);
+  entry.pdf = std::move(pdf);
+  insert_locked(Key{id, /*is_pdf=*/true}, std::move(entry));
+}
+
+void ModelCache::invalidate_below(store::DocId id, std::uint64_t revision) {
+  std::lock_guard lock(mutex_);
+  auto& floor = floors_[id];
+  if (revision > floor) floor = revision;
+  for (const bool is_pdf : {false, true}) {
+    const Key key{id, is_pdf};
+    const auto it = entries_.find(key);
+    if (it != entries_.end() && it->second.revision < revision) {
+      erase_locked(key);
+      ++invalidations_;
+    }
+  }
+}
+
+void ModelCache::clear() {
+  std::lock_guard lock(mutex_);
+  entries_.clear();
+  lru_.clear();
+  floors_.clear();
+  resident_bytes_ = 0;
+}
+
+void ModelCache::set_budget(std::size_t budget_bytes) {
+  std::lock_guard lock(mutex_);
+  budget_bytes_ = budget_bytes;
+  evict_to_budget_locked();
+}
+
+std::size_t ModelCache::budget() const {
+  std::lock_guard lock(mutex_);
+  return budget_bytes_;
+}
+
+ModelCacheStats ModelCache::stats() const {
+  std::lock_guard lock(mutex_);
+  ModelCacheStats out;
+  out.hits = hits_;
+  out.misses = misses_;
+  out.evictions = evictions_;
+  out.invalidations = invalidations_;
+  out.entries = entries_.size();
+  out.resident_bytes = resident_bytes_;
+  out.budget_bytes = budget_bytes_;
+  return out;
+}
+
+}  // namespace fairdms::fairms

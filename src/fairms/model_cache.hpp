@@ -1,0 +1,159 @@
+// Parameter-blob and PDF cache of the fairMS model plane.
+//
+// The paper's workload re-loads the same foundation models over and over
+// (every update fine-tunes the closest zoo model), yet each load used to
+// re-fetch the full parameter blob across the RemoteLink and each rank()
+// re-normalized every candidate PDF. ModelCache keeps both hot:
+//
+//  * record entries — fully materialized zoo records (metadata + shared
+//    parameter blob), so a repeat foundation load costs zero link bytes;
+//  * PDF entries — *pre-normalized* training distributions keyed by
+//    (DocId, revision), so ranking normalizes each stored PDF once per
+//    revision instead of once per request. An empty PDF entry is the
+//    "known malformed" sentinel: ranking skips the record without
+//    re-fetching (and re-logging) it every call.
+//
+// Consistency model: entries are keyed by the record's revision (assigned by
+// the owning ModelZoo's monotonic counter). Mutations call
+// invalidate_below(id, new_revision), which both drops older entries and
+// *pins a floor*: a reader that raced the mutation (read the old document,
+// then tried to cache it after the invalidation) has its stale put rejected.
+// Coherence therefore holds for any interleaving of readers and writers that
+// share one ModelZoo; writers bypassing the zoo (a second ModelZoo over the
+// same store) require an explicit invalidate_below/clear.
+//
+// Thread-safety: every method takes one internal mutex; returned shared_ptr
+// handles outlive eviction.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "store/docstore.hpp"
+
+namespace fairdms::fairms {
+
+/// A fully materialized zoo record as the cache holds it. The parameter
+/// blob is shared (never copied per reader); `train_pdf` is the *stored*
+/// (unnormalized) distribution, exactly what ModelZoo::fetch returns.
+struct CachedModel {
+  store::DocId id = 0;
+  std::uint64_t revision = 0;
+  std::string architecture;
+  std::string dataset_id;
+  std::vector<double> train_pdf;
+  std::shared_ptr<const std::vector<std::uint8_t>> parameters;
+};
+
+/// Counter snapshot (see ModelCache::stats).
+struct ModelCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;      ///< entries dropped to meet the budget
+  std::uint64_t invalidations = 0;  ///< entries dropped by revision bumps
+  std::size_t entries = 0;
+  std::size_t resident_bytes = 0;
+  std::size_t budget_bytes = 0;
+};
+
+class ModelCache {
+ public:
+  using RecordPtr = std::shared_ptr<const CachedModel>;
+  using PdfPtr = std::shared_ptr<const std::vector<double>>;
+
+  /// `budget_bytes == 0` disables caching: every get misses, every put is a
+  /// no-op (the uncached reference path the parity tests compare against).
+  explicit ModelCache(std::size_t budget_bytes);
+
+  /// Record lookup by id alone — a hit is trusted without consulting the
+  /// store (the zero-link-bytes fast path). Entries can only exist at or
+  /// above the id's invalidation floor, so same-zoo writers can never leave
+  /// a stale record behind.
+  [[nodiscard]] RecordPtr get_record(store::DocId id);
+  /// Inserts/replaces the record entry of record->id. Rejected (dropped)
+  /// when record->revision is below the id's invalidation floor or the
+  /// record alone exceeds the whole budget.
+  void put_record(RecordPtr record);
+
+  /// Pre-normalized-PDF lookup; hits only when the cached revision equals
+  /// `revision` (the caller just read the current revision from the store).
+  /// An *older* cached entry is erased on the spot; a newer one (the
+  /// caller's read raced a mutation) is left alone and reported as a miss.
+  /// May return the empty malformed-PDF sentinel — callers must check
+  /// ->empty().
+  [[nodiscard]] PdfPtr get_pdf(store::DocId id, std::uint64_t revision);
+  void put_pdf(store::DocId id, std::uint64_t revision, PdfPtr pdf);
+
+  /// Whether a record entry with these components would fit the budget —
+  /// the exact admission arithmetic put_record applies, for callers
+  /// deciding whether pre-warming is worth a blob copy.
+  [[nodiscard]] bool admits_record(std::size_t blob_bytes,
+                                   std::size_t pdf_len, std::size_t arch_len,
+                                   std::size_t dataset_len) const;
+
+  /// Drops every entry of `id` with revision < `revision` and refuses
+  /// future puts below it. Called by the zoo on attach_parameters/reindex
+  /// with the freshly assigned revision.
+  void invalidate_below(store::DocId id, std::uint64_t revision);
+
+  /// Drops every entry (floors included). For external-writer recovery and
+  /// cold-start measurements.
+  void clear();
+
+  /// Re-budgets the cache, evicting LRU entries down to the new limit.
+  /// 0 disables caching and drops everything.
+  void set_budget(std::size_t budget_bytes);
+  [[nodiscard]] std::size_t budget() const;
+
+  [[nodiscard]] ModelCacheStats stats() const;
+
+ private:
+  struct Key {
+    store::DocId id = 0;
+    bool is_pdf = false;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return std::hash<std::uint64_t>()((k.id << 1) | (k.is_pdf ? 1u : 0u));
+    }
+  };
+  struct Entry {
+    std::uint64_t revision = 0;
+    std::size_t bytes = 0;
+    RecordPtr record;  ///< set for record entries
+    PdfPtr pdf;        ///< set for PDF entries
+    std::list<Key>::iterator lru_it;
+  };
+
+  static std::size_t record_bytes(std::size_t blob_bytes, std::size_t pdf_len,
+                                  std::size_t arch_len,
+                                  std::size_t dataset_len);
+  static std::size_t record_bytes(const CachedModel& record);
+  static std::size_t pdf_bytes(const std::vector<double>& pdf);
+
+  // All helpers below assume mutex_ is held.
+  void touch_locked(Entry& entry);
+  void erase_locked(const Key& key);
+  void insert_locked(const Key& key, Entry&& entry);
+  void evict_to_budget_locked();
+
+  mutable std::mutex mutex_;
+  std::size_t budget_bytes_;
+  std::size_t resident_bytes_ = 0;
+  std::list<Key> lru_;  ///< front = most recently used
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+  /// id -> lowest admissible revision (see invalidate_below).
+  std::unordered_map<store::DocId, std::uint64_t> floors_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t invalidations_ = 0;
+};
+
+}  // namespace fairdms::fairms

@@ -1,9 +1,12 @@
 #include "fairms/zoo.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "fairms/jsd.hpp"
 #include "util/check.hpp"
+#include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fairdms::fairms {
 
@@ -23,9 +26,21 @@ std::vector<double> value_to_pdf(const store::Value& v) {
   return pdf;
 }
 
+/// Scalar field lookup tolerating records written before the field existed
+/// (restored store snapshots).
+std::uint64_t uint_field_or(const store::Value& doc, const std::string& field,
+                            std::uint64_t fallback) {
+  const store::Object& obj = doc.as_object();
+  const auto it = obj.find(field);
+  if (it == obj.end()) return fallback;
+  return static_cast<std::uint64_t>(it->second.as_int());
+}
+
 ModelRecord record_from_doc(store::DocId id, const store::Value& doc) {
   ModelRecord r;
   r.id = id;
+  // Pre-versioning records (restored snapshots) default to revision 0.
+  r.revision = uint_field_or(doc, "revision", 0);
   r.architecture = doc.at("architecture").as_string();
   r.dataset_id = doc.at("dataset_id").as_string();
   r.train_pdf = value_to_pdf(doc.at("train_pdf"));
@@ -35,35 +50,117 @@ ModelRecord record_from_doc(store::DocId id, const store::Value& doc) {
 
 }  // namespace
 
-ModelZoo::ModelZoo(store::DocStore& db)
-    : collection_(&db.collection("model_zoo")) {
+ModelZoo::ModelZoo(store::DocStore& db, std::size_t cache_bytes)
+    : collection_(&db.collection("model_zoo")),
+      cache_(std::make_unique<ModelCache>(cache_bytes)) {
   collection_->create_index("architecture");
+  // Resume the revision counter past every stored revision so (id, revision)
+  // cache keys stay unique across restarts. One batched scalar-projected
+  // read; skipped entirely for a fresh (empty) zoo.
+  const std::vector<store::DocId> ids = collection_->all_ids();
+  if (!ids.empty()) {
+    static const std::vector<std::string> kRevisionField = {"revision"};
+    std::uint64_t max_revision = 0;
+    for (const auto& doc : collection_->find_many(ids, kRevisionField)) {
+      if (!doc.has_value()) continue;
+      max_revision = std::max(max_revision, uint_field_or(*doc, "revision", 0));
+    }
+    revision_.store(max_revision, std::memory_order_release);
+  }
 }
 
 store::DocId ModelZoo::publish(const std::string& architecture,
                                const std::string& dataset_id,
                                const std::vector<double>& train_pdf,
                                std::vector<std::uint8_t> parameters) {
-  FAIRDMS_CHECK(!train_pdf.empty(), "publish: empty training PDF");
+  // A zero-mass / negative / non-finite PDF would make every later
+  // rank/recommend against this architecture abort inside the JSD kernel;
+  // reject it at the door instead.
+  FAIRDMS_CHECK(is_valid_pdf(train_pdf),
+                "publish: train_pdf is not a valid distribution (empty, "
+                "negative/non-finite entries, or zero mass)");
+  const std::uint64_t revision =
+      revision_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  // Pre-warming needs a second owner of the blob (cache + store), which
+  // costs one copy — skip it when the cache would refuse the record anyway
+  // (disabled, or the entry over budget) and keep the old move-only path.
+  const std::size_t param_count = parameters.size();
+  const bool warm =
+      cache_->admits_record(param_count, train_pdf.size(),
+                            architecture.size(), dataset_id.size());
+  std::shared_ptr<const std::vector<std::uint8_t>> blob;
   store::Object doc;
   doc["architecture"] = store::Value(architecture);
   doc["dataset_id"] = store::Value(dataset_id);
   doc["train_pdf"] = pdf_to_value(train_pdf);
+  doc["revision"] = store::Value(static_cast<std::int64_t>(revision));
   // Blob size is duplicated as a scalar so the metadata projection can tell
   // weightless (metadata-first) records apart without touching the blob.
   doc["param_bytes"] =
       store::Value(static_cast<std::int64_t>(parameters.size()));
-  doc["parameters"] = store::Value(store::Binary(std::move(parameters)));
-  return collection_->insert_one(store::Value(std::move(doc)));
+  if (warm) {
+    blob = std::make_shared<const std::vector<std::uint8_t>>(
+        std::move(parameters));
+    doc["parameters"] = store::Value(store::Binary(*blob));
+  } else {
+    doc["parameters"] = store::Value(store::Binary(std::move(parameters)));
+  }
+  const store::DocId id = collection_->insert_one(store::Value(std::move(doc)));
+
+  // Warm the cache with what was just written: the first foundation load
+  // and the first ranking of this record cost zero link traffic.
+  if (warm) {
+    auto record = std::make_shared<CachedModel>();
+    record->id = id;
+    record->revision = revision;
+    record->architecture = architecture;
+    record->dataset_id = dataset_id;
+    record->train_pdf = train_pdf;
+    record->parameters = std::move(blob);
+    cache_->put_record(std::move(record));
+    // Ranking never reads a weightless record's PDF (and the completing
+    // attach_parameters bumps the revision anyway), so only weight-bearing
+    // publishes pre-warm the PDF entry.
+    if (param_count != 0) {
+      if (auto normalized = try_normalized(train_pdf)) {
+        cache_->put_pdf(id, revision,
+                        std::make_shared<const std::vector<double>>(
+                            std::move(*normalized)));
+      }
+    }
+  }
+  return id;
 }
 
 bool ModelZoo::attach_parameters(store::DocId id,
                                  std::vector<std::uint8_t> parameters) {
+  if (parameters.empty()) {
+    // An empty blob would silently demote the record to weightless —
+    // contradicting what "attach" promises. Refuse it.
+    util::log_warn("model_zoo: attach_parameters(", id,
+                   ") rejected an empty blob");
+    return false;
+  }
   store::Object fields;
   fields["param_bytes"] =
       store::Value(static_cast<std::int64_t>(parameters.size()));
   fields["parameters"] = store::Value(store::Binary(std::move(parameters)));
-  // One lock, one charge: blob and its size scalar stay consistent.
+  // Revision allocation and the store commit are one critical section:
+  // were they separate, two mutators of the same record could commit in
+  // the opposite order of their revisions, stranding the stored revision
+  // below the other's cache floor (permanently uncacheable record).
+  std::lock_guard lock(mutation_mutex_);
+  const std::uint64_t revision =
+      revision_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  fields["revision"] = store::Value(static_cast<std::int64_t>(revision));
+  // Invalidate BEFORE the commit: a reader that observes the post-commit
+  // store state must never hit the pre-mutation cache entry (it would
+  // serve outdated — possibly empty — weights). Readers inside the window
+  // simply miss and refetch. Raising the floor for an absent id is
+  // harmless: nothing can be cached for it.
+  cache_->invalidate_below(id, revision);
+  // One store lock, one charge: blob, size scalar, and revision stay
+  // consistent.
   return collection_->update_fields(id, std::move(fields));
 }
 
@@ -73,13 +170,37 @@ std::optional<ModelRecord> ModelZoo::fetch(store::DocId id) const {
   return record_from_doc(id, *doc);
 }
 
+ModelCache::RecordPtr ModelZoo::fetch_cached(store::DocId id) const {
+  if (auto hit = cache_->get_record(id)) return hit;
+  const auto doc = collection_->find_by_id(id);
+  if (!doc.has_value()) return nullptr;
+  ModelRecord fetched = record_from_doc(id, *doc);
+  auto record = std::make_shared<CachedModel>();
+  record->id = fetched.id;
+  record->revision = fetched.revision;
+  record->architecture = std::move(fetched.architecture);
+  record->dataset_id = std::move(fetched.dataset_id);
+  record->train_pdf = std::move(fetched.train_pdf);
+  record->parameters = std::make_shared<const std::vector<std::uint8_t>>(
+      std::move(fetched.parameters));
+  cache_->put_record(record);
+  return record;
+}
+
 std::vector<ModelRecord> ModelZoo::models_of(
     const std::string& architecture) const {
+  // One index lookup + one batched full read: a single round trip (and one
+  // shared-lock pass per touched shard) however many models match, where
+  // this used to issue one find_by_id per id.
+  const std::vector<store::DocId> ids =
+      collection_->find_eq("architecture", store::Value(architecture));
   std::vector<ModelRecord> out;
-  for (store::DocId id :
-       collection_->find_eq("architecture", store::Value(architecture))) {
-    const auto doc = collection_->find_by_id(id);
-    if (doc.has_value()) out.push_back(record_from_doc(id, *doc));
+  if (ids.empty()) return out;
+  const auto docs = collection_->find_many(ids);
+  out.reserve(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (!docs[i].has_value()) continue;  // removed between lookup and fetch
+    out.push_back(record_from_doc(ids[i], *docs[i]));
   }
   return out;
 }
@@ -87,7 +208,7 @@ std::vector<ModelRecord> ModelZoo::models_of(
 std::vector<ModelMeta> ModelZoo::metadata_of(
     const std::string& architecture) const {
   static const std::vector<std::string> kMetaFields = {
-      "architecture", "dataset_id", "train_pdf", "param_bytes"};
+      "architecture", "dataset_id", "train_pdf", "param_bytes", "revision"};
   const std::vector<store::DocId> ids =
       collection_->find_eq("architecture", store::Value(architecture));
   std::vector<ModelMeta> out;
@@ -98,30 +219,121 @@ std::vector<ModelMeta> ModelZoo::metadata_of(
     if (!docs[i].has_value()) continue;  // removed between lookup and fetch
     ModelMeta meta;
     meta.id = ids[i];
+    meta.revision = uint_field_or(*docs[i], "revision", 0);
     meta.architecture = docs[i]->at("architecture").as_string();
     meta.dataset_id = docs[i]->at("dataset_id").as_string();
     meta.train_pdf = value_to_pdf(docs[i]->at("train_pdf"));
     // Records written before param_bytes existed (restored store snapshots)
     // all carried non-empty blobs — publish used to reject empty ones — so
     // a missing field means "weights present", not "weightless".
-    const store::Object& obj = docs[i]->as_object();
-    const auto it = obj.find("param_bytes");
-    meta.param_bytes = it != obj.end()
-                           ? static_cast<std::size_t>(it->second.as_int())
-                           : 1;
+    meta.param_bytes =
+        static_cast<std::size_t>(uint_field_or(*docs[i], "param_bytes", 1));
     out.push_back(std::move(meta));
   }
   return out;
 }
 
+std::vector<RankCandidate> ModelZoo::rank_candidates(
+    const std::string& architecture) const {
+  // Phase 1 — who's rankable and at what revision: scalar projection only,
+  // no PDF payloads. On a warm cache this is all the traffic a rank costs.
+  static const std::vector<std::string> kScalarFields = {"param_bytes",
+                                                         "revision"};
+  const std::vector<store::DocId> ids =
+      collection_->find_eq("architecture", store::Value(architecture));
+  std::vector<RankCandidate> out;
+  if (ids.empty()) return out;
+  const auto scalars = collection_->find_many(ids, kScalarFields);
+
+  struct Pending {
+    store::DocId id;
+    std::uint64_t revision;
+  };
+  std::vector<Pending> misses;
+  out.reserve(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (!scalars[i].has_value()) continue;  // removed mid-flight
+    if (uint_field_or(*scalars[i], "param_bytes", 1) == 0) {
+      continue;  // weightless: never a fine-tuning foundation
+    }
+    const std::uint64_t revision = uint_field_or(*scalars[i], "revision", 0);
+    if (auto pdf = cache_->get_pdf(ids[i], revision)) {
+      // Empty = the known-malformed sentinel: skip without re-fetching.
+      if (!pdf->empty()) out.push_back(RankCandidate{ids[i], std::move(pdf)});
+      continue;
+    }
+    misses.push_back(Pending{ids[i], revision});
+  }
+
+  // Phase 2 — fetch only the missing PDFs, normalize once, cache.
+  if (!misses.empty()) {
+    static const std::vector<std::string> kPdfField = {"train_pdf"};
+    std::vector<store::DocId> miss_ids;
+    miss_ids.reserve(misses.size());
+    for (const Pending& m : misses) miss_ids.push_back(m.id);
+    const auto docs = collection_->find_many(miss_ids, kPdfField);
+    for (std::size_t i = 0; i < misses.size(); ++i) {
+      if (!docs[i].has_value()) continue;
+      const std::vector<double> raw = value_to_pdf(docs[i]->at("train_pdf"));
+      auto normalized = try_normalized(raw);
+      if (!normalized.has_value()) {
+        // Possible in snapshots restored from before publish/reindex
+        // validated mass. Skip the record — crashing the serving worker
+        // over one bad row is the bug this path fixes — and remember the
+        // verdict so it is logged once, not once per rank.
+        util::log_warn("model_zoo: record ", misses[i].id,
+                       " has a malformed train_pdf (", raw.size(),
+                       " bins); excluded from ranking");
+        cache_->put_pdf(misses[i].id, misses[i].revision,
+                        std::make_shared<const std::vector<double>>());
+        continue;
+      }
+      auto pdf = std::make_shared<const std::vector<double>>(
+          std::move(*normalized));
+      cache_->put_pdf(misses[i].id, misses[i].revision, pdf);
+      out.push_back(RankCandidate{misses[i].id, std::move(pdf)});
+    }
+  }
+  return out;
+}
+
 bool ModelZoo::reindex(store::DocId id, const std::vector<double>& train_pdf) {
-  return collection_->update_field(id, "train_pdf", pdf_to_value(train_pdf));
+  if (!is_valid_pdf(train_pdf)) {
+    // Historically this accepted anything publish would reject, letting a
+    // zero-mass PDF poison every later rank. Same gate as publish now.
+    util::log_warn("model_zoo: reindex(", id,
+                   ") rejected a malformed train_pdf (", train_pdf.size(),
+                   " bins)");
+    return false;
+  }
+  store::Object fields;
+  fields["train_pdf"] = pdf_to_value(train_pdf);
+  // Same commit-order critical section as attach_parameters.
+  std::lock_guard lock(mutation_mutex_);
+  const std::uint64_t revision =
+      revision_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  fields["revision"] = store::Value(static_cast<std::int64_t>(revision));
+  // Same invalidate-before-commit ordering as attach_parameters.
+  cache_->invalidate_below(id, revision);
+  const bool found = collection_->update_fields(id, std::move(fields));
+  if (found) {
+    // The new PDF is known-valid; keep ranking warm across the re-index.
+    if (auto normalized = try_normalized(train_pdf)) {
+      cache_->put_pdf(id, revision,
+                      std::make_shared<const std::vector<double>>(
+                          std::move(*normalized)));
+    }
+  }
+  return found;
 }
 
 std::size_t ModelZoo::size() const { return collection_->size(); }
 
-ModelManager::ModelManager(const ModelZoo& zoo, double distance_threshold)
-    : zoo_(&zoo), threshold_(distance_threshold) {
+ModelManager::ModelManager(const ModelZoo& zoo, double distance_threshold,
+                           std::size_t parallel_rank_threshold)
+    : zoo_(&zoo),
+      threshold_(distance_threshold),
+      parallel_threshold_(std::max<std::size_t>(1, parallel_rank_threshold)) {
   FAIRDMS_CHECK(distance_threshold > 0.0 && distance_threshold <= 1.0,
                 "distance threshold must be in (0, 1]");
 }
@@ -129,17 +341,43 @@ ModelManager::ModelManager(const ModelZoo& zoo, double distance_threshold)
 std::vector<Ranked> ModelManager::rank(
     const std::string& architecture,
     std::span<const double> input_pdf) const {
-  std::vector<Ranked> out;
-  // Metadata-only read: ranking compares PDFs, so the parameter blobs (the
-  // overwhelming majority of each record's bytes) are never deserialized.
-  for (const ModelMeta& meta : zoo_->metadata_of(architecture)) {
-    if (meta.train_pdf.size() != input_pdf.size()) continue;  // stale index
-    if (meta.param_bytes == 0) continue;  // weightless: not a foundation
-    out.push_back(Ranked{
-        meta.id, jensen_shannon_divergence(input_pdf, meta.train_pdf)});
+  const auto input = try_normalized(input_pdf);
+  if (!input.has_value()) {
+    // Client-reachable (an empty query batch yields an all-zero cluster
+    // PDF): answer "no candidates" instead of aborting the serving worker
+    // — the same survival rule rank_candidates applies to stored PDFs.
+    util::log_warn("model_manager: rank(", architecture,
+                   ") received a malformed input PDF (", input_pdf.size(),
+                   " bins); returning no candidates");
+    return {};
+  }
+  std::vector<RankCandidate> candidates = zoo_->rank_candidates(architecture);
+  // Models indexed under a different clustering width are stale — skip.
+  std::erase_if(candidates, [&](const RankCandidate& c) {
+    return c.pdf->size() != input->size();
+  });
+
+  std::vector<Ranked> out(candidates.size());
+  const auto score = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      out[i] = Ranked{candidates[i].id,
+                      jsd_normalized(*input, *candidates[i].pdf)};
+    }
+  };
+  if (candidates.size() >= parallel_threshold_) {
+    // Each slot is written by exactly one chunk with chunk-independent
+    // arithmetic, so the fan-out is race-free and byte-identical to the
+    // sequential loop.
+    util::ThreadPool::global().parallel_for(candidates.size(), score,
+                                            /*min_grain=*/32);
+  } else {
+    score(0, candidates.size());
   }
   std::sort(out.begin(), out.end(), [](const Ranked& a, const Ranked& b) {
-    return a.distance < b.distance;
+    // The id tie-break pins a total order: equal distances (common with
+    // duplicate training sets) sort the same way on every path.
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.model_id < b.model_id;
   });
   return out;
 }

@@ -2,19 +2,32 @@
 // the *cluster-PDF of its training dataset* as its index key, so the best
 // foundation for fine-tuning can be found without running any inference —
 // just a JSD comparison of distributions.
+//
+// The zoo is a *versioned* registry (the FAIR-models framing of
+// arXiv:2207.00611): every record carries a revision assigned from the
+// zoo's monotonic counter, bumped by publish / attach_parameters / reindex.
+// Revisions key the ModelCache, so repeat foundation loads and repeat
+// rankings are served from memory — zero RemoteLink traffic — until the
+// record actually changes.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "fairms/model_cache.hpp"
 #include "store/docstore.hpp"
 
 namespace fairdms::fairms {
 
 struct ModelRecord {
   store::DocId id = 0;
+  std::uint64_t revision = 0;  ///< bumps on every mutation of this record
   std::string architecture;   ///< model family key (e.g. "braggnn")
   std::string dataset_id;     ///< provenance of the training data
   std::vector<double> train_pdf;  ///< cluster PDF of the training dataset
@@ -24,6 +37,7 @@ struct ModelRecord {
 /// Everything rank/recommend needs — no parameter bytes.
 struct ModelMeta {
   store::DocId id = 0;
+  std::uint64_t revision = 0;
   std::string architecture;
   std::string dataset_id;
   std::vector<double> train_pdf;
@@ -33,53 +47,115 @@ struct ModelMeta {
   std::size_t param_bytes = 0;
 };
 
-/// Thread-safety: every ModelZoo method maps to one synchronized operation
-/// on the underlying collection, so concurrent publish/fetch/reindex/rank
-/// from multiple threads is safe (the store serializes writers and lets
-/// readers share).
+/// One rank-ready candidate: a weight-bearing record's id and its
+/// *pre-normalized* training PDF (shared with the cache — never copied per
+/// request).
+struct RankCandidate {
+  store::DocId id = 0;
+  ModelCache::PdfPtr pdf;
+};
+
+/// Thread-safety: every store access maps to one synchronized collection
+/// operation and the cache is internally locked, so concurrent
+/// publish/fetch/reindex/rank from multiple threads is safe. Cache
+/// coherence is per-ModelZoo instance: mutations through *this* zoo
+/// invalidate its cache (revision floors make that race-proof); a second
+/// writer zoo over the same store requires cache().clear() here.
 class ModelZoo {
  public:
-  /// Models live in the "model_zoo" collection of `db`, indexed by
-  /// architecture.
-  explicit ModelZoo(store::DocStore& db);
+  /// Default parameter-blob/PDF cache budget (see ModelCache).
+  static constexpr std::size_t kDefaultCacheBytes = 64ull << 20;
 
-  /// Publishes a trained model; returns its zoo id. An empty parameter
-  /// blob is allowed (metadata-first publish — e.g. registering a model
-  /// trained elsewhere before its weights arrive); such records are
-  /// fetchable but excluded from rank/recommend until attach_parameters
-  /// supplies their weights.
+  /// Models live in the "model_zoo" collection of `db`, indexed by
+  /// architecture. `cache_bytes == 0` disables the cache (every read goes
+  /// to the store — the reference path of the parity tests).
+  explicit ModelZoo(store::DocStore& db,
+                    std::size_t cache_bytes = kDefaultCacheBytes);
+
+  /// Publishes a trained model; returns its zoo id. The training PDF must
+  /// carry positive finite mass (aborts otherwise — a zero-mass PDF would
+  /// poison every later rank). An empty parameter blob is allowed
+  /// (metadata-first publish — e.g. registering a model trained elsewhere
+  /// before its weights arrive); such records are fetchable but excluded
+  /// from rank/recommend until attach_parameters supplies their weights.
+  /// The new record is inserted into the cache, so the first foundation
+  /// load after a publish is already warm.
   store::DocId publish(const std::string& architecture,
                        const std::string& dataset_id,
                        const std::vector<double>& train_pdf,
                        std::vector<std::uint8_t> parameters);
 
   /// Stores (or replaces) the parameter blob of an existing record — the
-  /// second half of a metadata-first publish. Returns false if `id` is
-  /// absent. A non-empty blob makes the record rankable again.
+  /// second half of a metadata-first publish. A non-empty blob makes the
+  /// record rankable. Returns false (and changes nothing) when `id` is
+  /// absent OR `parameters` is empty: attaching an empty blob would demote
+  /// a rankable record to weightless, which is never what "attach" means —
+  /// there is deliberately no detach operation.
   bool attach_parameters(store::DocId id,
                          std::vector<std::uint8_t> parameters);
 
+  /// Uncached read: always one full store fetch.
   [[nodiscard]] std::optional<ModelRecord> fetch(store::DocId id) const;
 
-  /// All models of one architecture (metadata + parameters).
+  /// Cached read: a hit costs zero store traffic (zero RemoteLink bytes
+  /// and requests) — the repeat-foundation-load fast path. A miss fetches,
+  /// caches, and returns the record; nullptr when `id` is absent.
+  [[nodiscard]] ModelCache::RecordPtr fetch_cached(store::DocId id) const;
+
+  /// All models of one architecture (metadata + parameters) via one index
+  /// lookup plus one batched read — a single round trip however many
+  /// models the architecture has.
   [[nodiscard]] std::vector<ModelRecord> models_of(
       const std::string& architecture) const;
 
   /// Metadata of all models of one architecture via one index lookup plus
   /// one batched, field-projected read — parameter blobs (the dominant
-  /// payload) are never touched, decoded, or charged. This is the read
-  /// path ModelManager::rank runs on.
+  /// payload) are never touched, decoded, or charged.
   [[nodiscard]] std::vector<ModelMeta> metadata_of(
+      const std::string& architecture) const;
+
+  /// Rank-ready candidates of one architecture: weight-bearing records
+  /// with their pre-normalized training PDFs, served from the cache where
+  /// the stored revision matches and fetched (then cached) otherwise.
+  /// Malformed stored PDFs — possible in snapshots restored from before
+  /// mass validation existed — are skipped and logged once, never aborted
+  /// on. This is the read path ModelManager::rank runs on: a warm call
+  /// transfers only ids and revision scalars, no PDF payloads.
+  [[nodiscard]] std::vector<RankCandidate> rank_candidates(
       const std::string& architecture) const;
 
   /// Replaces the stored training-data distribution of a model (the system
   /// plane re-indexes the zoo after the clustering model is retrained).
+  /// Returns false (and changes nothing) when `id` is absent or the PDF is
+  /// malformed (empty, negative/non-finite entries, or zero mass) — the
+  /// same validation publish applies, so a bad re-index can never poison
+  /// later rank/recommend calls.
   bool reindex(store::DocId id, const std::vector<double>& train_pdf);
 
   [[nodiscard]] std::size_t size() const;
 
+  /// Monotonic mutation counter: increases on every successful
+  /// publish/attach_parameters/reindex (failed mutations may consume a
+  /// value — revisions are monotonic, not dense). Survives restarts: on
+  /// construction the counter resumes past every stored revision.
+  [[nodiscard]] std::uint64_t revision() const {
+    return revision_.load(std::memory_order_acquire);
+  }
+
+  /// The parameter-blob/PDF cache (internally synchronized; mutable
+  /// through a const zoo the way any cache is).
+  [[nodiscard]] ModelCache& cache() const { return *cache_; }
+
  private:
   store::Collection* collection_;
+  std::atomic<std::uint64_t> revision_{0};
+  /// Orders record mutations: revision allocation and the store commit
+  /// happen atomically with respect to other mutators, so a record's
+  /// stored revision can never fall behind a concurrent mutation's cache
+  /// floor (which would silently pin the record uncacheable). Reads never
+  /// take this lock; mutations are the rare path.
+  std::mutex mutation_mutex_;
+  std::unique_ptr<ModelCache> cache_;
 };
 
 /// Ranks zoo models by JSD between their training-data PDF and an input
@@ -91,12 +167,28 @@ struct Ranked {
 
 class ModelManager {
  public:
+  /// Candidate count at or above which rank() fans the JSD evaluation out
+  /// over util::ThreadPool::global(). Results are byte-identical to the
+  /// sequential path (independent per-candidate arithmetic, deterministic
+  /// sort), so the threshold is purely a latency knob.
+  static constexpr std::size_t kParallelRankThreshold = 128;
+
   /// `distance_threshold`: if even the closest model is farther than this,
   /// recommend() declines and the caller trains from scratch (paper §II-C).
-  ModelManager(const ModelZoo& zoo, double distance_threshold = 0.5);
+  /// `parallel_rank_threshold` overrides kParallelRankThreshold (tests pin
+  /// parallel-vs-sequential parity by forcing each path).
+  explicit ModelManager(
+      const ModelZoo& zoo, double distance_threshold = 0.5,
+      std::size_t parallel_rank_threshold = kParallelRankThreshold);
 
   /// All models of `architecture` whose PDF length matches, ascending by
-  /// distance. Models indexed under a different clustering are skipped.
+  /// (distance, id) — the id tie-break makes the order deterministic for
+  /// equal distances. Models indexed under a different clustering (stale
+  /// PDF width), weightless records, and malformed stored PDFs are
+  /// skipped. The input PDF is normalized once; stored PDFs come
+  /// pre-normalized from the zoo's cache. A malformed input PDF (e.g. the
+  /// all-zero distribution of an empty query batch) yields an empty
+  /// ranking (logged) — never an abort: this runs on serving workers.
   [[nodiscard]] std::vector<Ranked> rank(
       const std::string& architecture,
       std::span<const double> input_pdf) const;
@@ -107,10 +199,12 @@ class ModelManager {
       std::span<const double> input_pdf) const;
 
   [[nodiscard]] double distance_threshold() const { return threshold_; }
+  [[nodiscard]] const ModelZoo& zoo() const { return *zoo_; }
 
  private:
   const ModelZoo* zoo_;
   double threshold_;
+  std::size_t parallel_threshold_;
 };
 
 }  // namespace fairdms::fairms

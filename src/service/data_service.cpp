@@ -30,6 +30,12 @@ DataService::DataService(fairds::FairDS& ds, DataServiceConfig config,
                     config_.store_shards == ds.store_shards(),
                 "DataService: configured store_shards ", config_.store_shards,
                 " != sample collection's ", ds.store_shards());
+  FAIRDMS_CHECK(config_.model_cache_bytes == 0 || manager_ != nullptr,
+                "DataService: model_cache_bytes configured without a "
+                "ModelManager to apply it to");
+  if (config_.model_cache_bytes != 0) {
+    manager_->zoo().cache().set_budget(config_.model_cache_bytes);
+  }
 }
 
 DataService::~DataService() { wait_idle(); }
@@ -143,6 +149,13 @@ ServiceStats DataService::stats() const {
   std::lock_guard lock(stats_mutex_);
   ServiceStats out = stats_;
   out.store_shards = ds_->store_shards();
+  if (manager_ != nullptr) {
+    const auto cache = manager_->zoo().cache().stats();
+    out.model_cache_hits = cache.hits;
+    out.model_cache_misses = cache.misses;
+    out.model_cache_evictions = cache.evictions;
+    out.model_cache_bytes = cache.resident_bytes;
+  }
   return out;
 }
 

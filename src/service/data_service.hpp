@@ -44,6 +44,11 @@ struct DataServiceConfig {
   /// actual collection, failing loudly when a deployment assumed ingest
   /// parallelism the store was not built with.
   std::size_t store_shards = 0;
+  /// Re-budgets the model plane's parameter-blob/PDF cache at construction
+  /// (requires a ModelManager). 0 => leave the zoo's budget as configured.
+  /// Cache hit/miss/eviction counters surface through ServiceStats either
+  /// way.
+  std::size_t model_cache_bytes = 0;
 };
 
 class DataService {

@@ -81,6 +81,11 @@ struct ServiceStats {
   std::uint64_t retrain_checks = 0;  ///< system-plane certainty evaluations
   std::uint64_t retrains = 0;        ///< checks that triggered a retrain
   std::uint64_t store_shards = 0;    ///< sample-collection shard count
+  // fairMS model-plane cache counters (all zero without a ModelManager).
+  std::uint64_t model_cache_hits = 0;
+  std::uint64_t model_cache_misses = 0;
+  std::uint64_t model_cache_evictions = 0;
+  std::uint64_t model_cache_bytes = 0;  ///< resident bytes right now
 };
 
 }  // namespace fairdms::service
