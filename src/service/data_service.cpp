@@ -17,6 +17,18 @@ std::size_t worker_count_for(std::size_t configured) {
       2, static_cast<std::size_t>(std::thread::hardware_concurrency()));
 }
 
+/// Already-satisfied future carrying the documented rejection response:
+/// default payload, ServeStatus::kShedOverload. The shed path allocates no
+/// request copy and touches no snapshot — O(1) on the submitter's thread.
+template <typename Response>
+std::future<Response> shed_future() {
+  std::promise<Response> promise;
+  Response response;
+  response.status = ServeStatus::kShedOverload;
+  promise.set_value(std::move(response));
+  return promise.get_future();
+}
+
 }  // namespace
 
 DataService::DataService(fairds::FairDS& ds, DataServiceConfig config,
@@ -24,7 +36,7 @@ DataService::DataService(fairds::FairDS& ds, DataServiceConfig config,
     : ds_(&ds),
       config_(config),
       manager_(manager),
-      workers_(worker_count_for(config.workers)),
+      workers_(worker_count_for(config.workers), config.max_pending),
       system_(1) {
   FAIRDMS_CHECK(config_.store_shards == 0 ||
                     config_.store_shards == ds.store_shards(),
@@ -46,6 +58,12 @@ void DataService::record_request(double seconds) {
   stats_.max_request_seconds = std::max(stats_.max_request_seconds, seconds);
 }
 
+void DataService::note_admitted() {
+  const std::uint64_t depth = workers_.queue_depth();
+  std::lock_guard lock(stats_mutex_);
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, depth);
+}
+
 std::future<LabelResponse> DataService::submit(LabelRequest request) {
   FAIRDMS_CHECK(request.fallback_labeler != nullptr,
                 "LabelRequest without a fallback labeler");
@@ -54,7 +72,7 @@ std::future<LabelResponse> DataService::submit(LabelRequest request) {
     ++stats_.label_requests;
   }
   auto req = std::make_shared<LabelRequest>(std::move(request));
-  return workers_.async([this, req] {
+  auto admitted = workers_.try_async([this, req] {
     util::WallTimer timer;
     const auto snap = ds_->snapshot();
     FAIRDMS_CHECK(snap != nullptr, "DataService: FairDS not trained");
@@ -65,6 +83,7 @@ std::future<LabelResponse> DataService::submit(LabelRequest request) {
     response.seconds = timer.seconds();
     {
       std::lock_guard lock(stats_mutex_);
+      ++stats_.label_answered;
       stats_.samples_labeled += req->xs.dim(0);
       stats_.labels_reused += response.reuse.reused;
       stats_.labels_computed += response.reuse.computed;
@@ -75,6 +94,13 @@ std::future<LabelResponse> DataService::submit(LabelRequest request) {
     if (config_.auto_retrain) request_retrain(req->xs);
     return response;
   });
+  if (!admitted) {
+    std::lock_guard lock(stats_mutex_);
+    ++stats_.label_shed;
+    return shed_future<LabelResponse>();
+  }
+  note_admitted();
+  return std::move(*admitted);
 }
 
 std::future<LookupResponse> DataService::submit(LookupRequest request) {
@@ -83,7 +109,7 @@ std::future<LookupResponse> DataService::submit(LookupRequest request) {
     ++stats_.lookup_requests;
   }
   auto req = std::make_shared<LookupRequest>(std::move(request));
-  return workers_.async([this, req] {
+  auto admitted = workers_.try_async([this, req] {
     util::WallTimer timer;
     const auto snap = ds_->snapshot();
     FAIRDMS_CHECK(snap != nullptr, "DataService: FairDS not trained");
@@ -91,9 +117,20 @@ std::future<LookupResponse> DataService::submit(LookupRequest request) {
     response.batch = snap->lookup(req->xs, req->seed);
     response.snapshot_version = snap->version();
     response.seconds = timer.seconds();
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++stats_.lookup_answered;
+    }
     record_request(response.seconds);
     return response;
   });
+  if (!admitted) {
+    std::lock_guard lock(stats_mutex_);
+    ++stats_.lookup_shed;
+    return shed_future<LookupResponse>();
+  }
+  note_admitted();
+  return std::move(*admitted);
 }
 
 std::future<RecommendResponse> DataService::submit(RecommendRequest request) {
@@ -104,7 +141,7 @@ std::future<RecommendResponse> DataService::submit(RecommendRequest request) {
     ++stats_.recommend_requests;
   }
   auto req = std::make_shared<RecommendRequest>(std::move(request));
-  return workers_.async([this, req] {
+  auto admitted = workers_.try_async([this, req] {
     util::WallTimer timer;
     const auto snap = ds_->snapshot();
     FAIRDMS_CHECK(snap != nullptr, "DataService: FairDS not trained");
@@ -113,16 +150,31 @@ std::future<RecommendResponse> DataService::submit(RecommendRequest request) {
     response.pick = manager_->recommend(req->architecture, response.pdf);
     response.snapshot_version = snap->version();
     response.seconds = timer.seconds();
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++stats_.recommend_answered;
+    }
     record_request(response.seconds);
     return response;
   });
+  if (!admitted) {
+    std::lock_guard lock(stats_mutex_);
+    ++stats_.recommend_shed;
+    return shed_future<RecommendResponse>();
+  }
+  note_admitted();
+  return std::move(*admitted);
 }
 
 bool DataService::request_retrain(const Tensor& xs) {
   bool expected = false;
   if (!system_busy_.compare_exchange_strong(expected, true,
                                             std::memory_order_acq_rel)) {
-    return false;  // one check in flight answers the question; coalesce
+    // One check in flight answers the question; coalesce. Counted so a
+    // retrain storm shows up in the stats.
+    std::lock_guard lock(stats_mutex_);
+    ++stats_.retrains_coalesced;
+    return false;
   }
   // Copy only after winning the coalescing race: dropped requests (the
   // steady state while a retrain runs) cost no allocation.
@@ -146,8 +198,13 @@ void DataService::wait_idle() {
 }
 
 ServiceStats DataService::stats() const {
+  // Read the gauge before taking stats_mutex_: queue_depth() takes the
+  // pool's own mutex and lock order must stay acyclic.
+  const std::uint64_t depth = workers_.queue_depth();
   std::lock_guard lock(stats_mutex_);
   ServiceStats out = stats_;
+  out.queue_depth = depth;
+  out.max_pending = config_.max_pending;
   out.store_shards = ds_->store_shards();
   if (manager_ != nullptr) {
     const auto cache = manager_->zoo().cache().stats();

@@ -7,6 +7,12 @@
 //    worker pool and returns a std::future. Each request loads the current
 //    immutable model snapshot and runs lock-free against it, so N clients
 //    get real concurrency and consistent per-request model versions.
+//    Admission control (DataServiceConfig::max_pending) bounds the pending
+//    queue: at the bound, submit() sheds the request with an immediately
+//    ready ServeStatus::kShedOverload response instead of queueing — the
+//    mixed-workload policy that keeps an ingest burst or retrain storm
+//    from growing an unbounded future backlog (bench/mixed_workload.cpp
+//    is the driver that stresses exactly this).
 //  * System plane: retrain checks run on a dedicated single-thread executor.
 //    request_retrain() (or the auto-retrain policy) enqueues a certainty
 //    check + conditional retrain that builds the next snapshot off to the
@@ -49,6 +55,15 @@ struct DataServiceConfig {
   /// Cache hit/miss/eviction counters surface through ServiceStats either
   /// way.
   std::size_t model_cache_bytes = 0;
+  /// Admission control: bound on user-plane requests admitted but not yet
+  /// picked up by a worker. 0 => unbounded (the legacy behavior). When the
+  /// bound is reached, submit() sheds the request — it returns an
+  /// immediately-ready future whose response carries
+  /// ServeStatus::kShedOverload and a default payload — instead of
+  /// growing the backlog; the submitter is never blocked. Requests already
+  /// executing don't count against the bound, so total in-service work is
+  /// at most `workers + max_pending`.
+  std::size_t max_pending = 0;
 };
 
 class DataService {
@@ -86,6 +101,9 @@ class DataService {
 
  private:
   void record_request(double seconds);
+  /// Samples the pending-queue depth right after an admission and folds it
+  /// into the max_queue_depth high-water mark.
+  void note_admitted();
 
   fairds::FairDS* ds_;
   DataServiceConfig config_;

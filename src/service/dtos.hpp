@@ -22,6 +22,23 @@ namespace fairdms::service {
 
 using tensor::Tensor;
 
+/// Admission outcome of a submitted request. Every response carries one:
+/// kOk means the request executed against a snapshot; kShedOverload means
+/// the service's bounded pending queue was full at submission time and the
+/// request was rejected *without* executing — its future is ready
+/// immediately, its payload is default-constructed, and the caller is
+/// expected to back off and retry. Shedding is the load policy (paper's
+/// beamline bursts + retrain storms): a saturated service answers "not
+/// now" in O(1) instead of growing an unbounded future backlog.
+enum class ServeStatus : std::uint8_t {
+  kOk = 0,
+  kShedOverload = 1,
+};
+
+[[nodiscard]] constexpr const char* to_string(ServeStatus status) {
+  return status == ServeStatus::kOk ? "ok" : "shed_overload";
+}
+
 /// Per-sample label acquisition (the Fig. 9 reuse workload): reuse stored
 /// labels within `threshold` embedding distance, fall back to
 /// `fallback_labeler` for the rest. The labeler may be invoked on the
@@ -34,6 +51,7 @@ struct LabelRequest {
 };
 
 struct LabelResponse {
+  ServeStatus status = ServeStatus::kOk;
   nn::Batchset batch;
   fairds::ReuseStats reuse;
   std::uint64_t snapshot_version = 0;  ///< model version that served this
@@ -49,6 +67,7 @@ struct LookupRequest {
 };
 
 struct LookupResponse {
+  ServeStatus status = ServeStatus::kOk;
   nn::Batchset batch;
   std::uint64_t snapshot_version = 0;
   double seconds = 0.0;
@@ -62,6 +81,7 @@ struct RecommendRequest {
 };
 
 struct RecommendResponse {
+  ServeStatus status = ServeStatus::kOk;
   std::optional<fairms::Ranked> pick;  ///< nullopt => train from scratch
   std::vector<double> pdf;             ///< the query's cluster-PDF
   std::uint64_t snapshot_version = 0;
@@ -69,10 +89,29 @@ struct RecommendResponse {
 };
 
 /// Aggregate serving counters (a snapshot copy; see DataService::stats).
+///
+/// Admission accounting invariant (holds exactly once the service is idle;
+/// transiently `submitted >= answered + shed` while requests are in
+/// flight): for each op type, `*_requests == *_answered + *_shed`. The
+/// `*_requests` counters count every submit() call, accepted or not.
 struct ServiceStats {
   std::uint64_t label_requests = 0;
   std::uint64_t lookup_requests = 0;
   std::uint64_t recommend_requests = 0;
+  // Per-op admission outcomes (the load-shedding ledger).
+  std::uint64_t label_answered = 0;
+  std::uint64_t lookup_answered = 0;
+  std::uint64_t recommend_answered = 0;
+  std::uint64_t label_shed = 0;
+  std::uint64_t lookup_shed = 0;
+  std::uint64_t recommend_shed = 0;
+  // Pending-queue gauges: requests admitted but not yet picked up by a
+  // worker. `queue_depth` is a point-in-time read; `max_queue_depth` is a
+  // high-water mark sampled at each admission, so it never exceeds the
+  // configured `max_pending` (when bounded).
+  std::uint64_t queue_depth = 0;
+  std::uint64_t max_queue_depth = 0;
+  std::uint64_t max_pending = 0;  ///< configured bound (0 = unbounded)
   std::uint64_t samples_labeled = 0;
   std::uint64_t labels_reused = 0;
   std::uint64_t labels_computed = 0;
@@ -80,6 +119,10 @@ struct ServiceStats {
   double max_request_seconds = 0.0;  ///< slowest single request
   std::uint64_t retrain_checks = 0;  ///< system-plane certainty evaluations
   std::uint64_t retrains = 0;        ///< checks that triggered a retrain
+  /// request_retrain calls dropped into an already in-flight check — the
+  /// system plane's (pre-existing) admission control, surfaced so a
+  /// retrain storm is visible in the stats instead of silent.
+  std::uint64_t retrains_coalesced = 0;
   std::uint64_t store_shards = 0;    ///< sample-collection shard count
   // fairMS model-plane cache counters (all zero without a ModelManager).
   std::uint64_t model_cache_hits = 0;

@@ -8,7 +8,8 @@
 
 namespace fairdms::util {
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads, std::size_t max_queue)
+    : max_queue_(max_queue) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
@@ -35,6 +36,23 @@ void ThreadPool::submit(std::function<void()> task) {
     ++in_flight_;
   }
   cv_task_.notify_one();
+}
+
+bool ThreadPool::try_submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    FAIRDMS_CHECK(!stop_, "try_submit() on stopped pool");
+    if (max_queue_ != 0 && tasks_.size() >= max_queue_) return false;
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+  return true;
+}
+
+std::size_t ThreadPool::queue_depth() const {
+  std::lock_guard lock(mutex_);
+  return tasks_.size();
 }
 
 void ThreadPool::wait_idle() {

@@ -13,6 +13,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <queue>
 #include <thread>
 #include <type_traits>
@@ -23,7 +24,12 @@ namespace fairdms::util {
 class ThreadPool {
  public:
   /// `threads == 0` means hardware_concurrency (at least 1).
-  explicit ThreadPool(std::size_t threads = 0);
+  /// `max_queue` bounds the number of *waiting* tasks admitted through
+  /// try_submit/try_async (tasks already executing don't count); 0 means
+  /// unbounded. submit()/async()/parallel_for ignore the bound — they are
+  /// the internal data-parallel substrate and must never fail — so the
+  /// bound only governs callers that opt into admission control.
+  explicit ThreadPool(std::size_t threads = 0, std::size_t max_queue = 0);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -33,6 +39,14 @@ class ThreadPool {
 
   /// Enqueue an arbitrary task. Prefer parallel_for for data parallelism.
   void submit(std::function<void()> task);
+
+  /// Bounded enqueue: admits `task` only while fewer than max_queue tasks
+  /// are waiting (always admits when max_queue == 0). Returns false — and
+  /// does not take ownership of any work — when the queue is full. Never
+  /// blocks: this is the admission-control edge, and a submitter stalled
+  /// on a saturated queue would just move the unbounded backlog into the
+  /// callers.
+  [[nodiscard]] bool try_submit(std::function<void()> task);
 
   /// Enqueue a task and get a std::future for its result (exceptions
   /// propagate through the future). The request-submission substrate of
@@ -48,6 +62,26 @@ class ThreadPool {
     submit([task] { (*task)(); });
     return result;
   }
+
+  /// Bounded async: like async() but through try_submit. nullopt means the
+  /// queue was full and the callable was not (and will never be) invoked.
+  template <typename F>
+  [[nodiscard]] auto try_async(F&& fn)
+      -> std::optional<std::future<std::invoke_result_t<F>>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    if (!try_submit([task] { (*task)(); })) return std::nullopt;
+    return result;
+  }
+
+  /// Tasks admitted but not yet picked up by a worker (the backlog the
+  /// max_queue bound applies to). A point-in-time gauge: concurrent
+  /// submits/completions may change it immediately after the read.
+  [[nodiscard]] std::size_t queue_depth() const;
+
+  [[nodiscard]] std::size_t max_queue() const noexcept { return max_queue_; }
 
   /// Block until every submitted task has finished.
   void wait_idle();
@@ -78,8 +112,9 @@ class ThreadPool {
   bool try_run_one();
 
   std::vector<std::thread> workers_;
+  std::size_t max_queue_ = 0;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;
