@@ -73,7 +73,7 @@ std::shared_ptr<const Snapshot> FairDS::require_snapshot(
 }
 
 void FairDS::train_system(const Tensor& historical_xs) {
-  std::scoped_lock lock(system_mutex_);
+  util::MutexLock lock(system_mutex_);
   train_system_impl(historical_xs, config_.seed);
   // If the collection already holds samples (re-training over an existing
   // history, or a FairDS constructed over a restored snapshot), mirror
@@ -120,7 +120,7 @@ void FairDS::rebuild_index_from_store() {
 
 void FairDS::ingest(const Tensor& xs, const Tensor& ys,
                     const std::string& dataset_id) {
-  std::scoped_lock lock(system_mutex_);
+  util::MutexLock lock(system_mutex_);
   FAIRDMS_CHECK(embedder_ != nullptr, "FairDS::ingest before train_system");
   FAIRDMS_CHECK(xs.rank() == 4 && ys.rank() >= 1 && xs.dim(0) == ys.dim(0),
                 "FairDS::ingest: xs/ys mismatch");
@@ -181,7 +181,7 @@ double FairDS::certainty(const Tensor& xs) const {
 }
 
 bool FairDS::maybe_retrain(const Tensor& new_xs) {
-  std::scoped_lock lock(system_mutex_);
+  util::MutexLock lock(system_mutex_);
   FAIRDMS_CHECK(embedder_ != nullptr,
                 "FairDS::maybe_retrain before train_system");
   const double c = certainty_locked(new_xs);

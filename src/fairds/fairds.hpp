@@ -28,7 +28,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -39,6 +38,8 @@
 #include "fairds/snapshot.hpp"
 #include "nn/trainer.hpp"
 #include "store/docstore.hpp"
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace fairdms::fairds {
 
@@ -148,16 +149,18 @@ class FairDS {
   [[nodiscard]] const FairDSConfig& config() const { return config_; }
 
  private:
-  void train_system_impl(const Tensor& xs, std::uint64_t seed);
+  void train_system_impl(const Tensor& xs, std::uint64_t seed)
+      REQUIRES(system_mutex_);
   /// Rebuilds the reuse index from the stored `cluster`/`embedding` fields
   /// (used when models change but stored assignments are authoritative).
-  void rebuild_index_from_store();
+  void rebuild_index_from_store() REQUIRES(system_mutex_);
   /// Copies the master state into an immutable Snapshot and atomically
-  /// swaps it in. Caller must hold system_mutex_.
-  void publish_snapshot_locked();
+  /// swaps it in. Caller must hold system_mutex_ (compiler-checked).
+  void publish_snapshot_locked() REQUIRES(system_mutex_);
   /// Certainty against the *master* state (inside a system-plane op, where
   /// the master may already be ahead of the published snapshot).
-  [[nodiscard]] double certainty_locked(const Tensor& xs) const;
+  [[nodiscard]] double certainty_locked(const Tensor& xs) const
+      REQUIRES(system_mutex_);
   /// Images of `ids`, row i from ids[i], via one batched projected read.
   [[nodiscard]] Tensor images_for(const std::vector<store::DocId>& ids) const;
   [[nodiscard]] std::shared_ptr<const Snapshot> require_snapshot(
@@ -170,14 +173,14 @@ class FairDS {
   /// Master state, written only under system_mutex_. The embedder is shared
   /// with published snapshots and never refit in place: retraining replaces
   /// the pointer with a freshly trained embedder.
-  std::mutex system_mutex_;
-  std::shared_ptr<embed::Embedder> embedder_;
-  std::optional<cluster::KMeansModel> kmeans_;
-  ReuseIndex reuse_index_;
+  util::Mutex system_mutex_{util::LockRank::kSystemPlane};
+  std::shared_ptr<embed::Embedder> embedder_ GUARDED_BY(system_mutex_);
+  std::optional<cluster::KMeansModel> kmeans_ GUARDED_BY(system_mutex_);
+  ReuseIndex reuse_index_ GUARDED_BY(system_mutex_);
   /// Label width of ingested samples; 0 until known (set on first ingest,
   /// re-derived from the store when a FairDS is built over existing data).
-  std::size_t label_width_ = 0;
-  std::uint64_t version_ = 0;
+  std::size_t label_width_ GUARDED_BY(system_mutex_) = 0;
+  std::uint64_t version_ GUARDED_BY(system_mutex_) = 0;
 
   /// The published snapshot (null until train_system). Lock-free readers.
   std::atomic<std::shared_ptr<const Snapshot>> snapshot_;

@@ -31,7 +31,7 @@ std::size_t ModelCache::record_bytes(const CachedModel& record) {
 bool ModelCache::admits_record(std::size_t blob_bytes, std::size_t pdf_len,
                                std::size_t arch_len,
                                std::size_t dataset_len) const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return record_bytes(blob_bytes, pdf_len, arch_len, dataset_len) <=
          budget_bytes_;
 }
@@ -70,7 +70,7 @@ void ModelCache::evict_to_budget_locked() {
 }
 
 ModelCache::RecordPtr ModelCache::get_record(store::DocId id) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = entries_.find(Key{id, /*is_pdf=*/false});
   if (it == entries_.end()) {
     ++misses_;
@@ -83,7 +83,7 @@ ModelCache::RecordPtr ModelCache::get_record(store::DocId id) {
 
 void ModelCache::put_record(RecordPtr record) {
   if (record == nullptr) return;
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto floor = floors_.find(record->id);
   if (floor != floors_.end() && record->revision < floor->second) {
     return;  // raced a mutation: this read is already stale
@@ -97,7 +97,7 @@ void ModelCache::put_record(RecordPtr record) {
 
 ModelCache::PdfPtr ModelCache::get_pdf(store::DocId id,
                                        std::uint64_t revision) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   const Key key{id, /*is_pdf=*/true};
   const auto it = entries_.find(key);
   if (it == entries_.end()) {
@@ -123,7 +123,7 @@ ModelCache::PdfPtr ModelCache::get_pdf(store::DocId id,
 void ModelCache::put_pdf(store::DocId id, std::uint64_t revision,
                          PdfPtr pdf) {
   if (pdf == nullptr) return;
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto floor = floors_.find(id);
   if (floor != floors_.end() && revision < floor->second) return;
   Entry entry;
@@ -134,7 +134,7 @@ void ModelCache::put_pdf(store::DocId id, std::uint64_t revision,
 }
 
 void ModelCache::invalidate_below(store::DocId id, std::uint64_t revision) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto& floor = floors_[id];
   if (revision > floor) floor = revision;
   for (const bool is_pdf : {false, true}) {
@@ -148,7 +148,7 @@ void ModelCache::invalidate_below(store::DocId id, std::uint64_t revision) {
 }
 
 void ModelCache::clear() {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   entries_.clear();
   lru_.clear();
   floors_.clear();
@@ -156,18 +156,18 @@ void ModelCache::clear() {
 }
 
 void ModelCache::set_budget(std::size_t budget_bytes) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   budget_bytes_ = budget_bytes;
   evict_to_budget_locked();
 }
 
 std::size_t ModelCache::budget() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return budget_bytes_;
 }
 
 ModelCacheStats ModelCache::stats() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   ModelCacheStats out;
   out.hits = hits_;
   out.misses = misses_;

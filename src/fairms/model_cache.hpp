@@ -29,12 +29,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "store/docstore.hpp"
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace fairdms::fairms {
 
@@ -137,23 +138,25 @@ class ModelCache {
   static std::size_t record_bytes(const CachedModel& record);
   static std::size_t pdf_bytes(const std::vector<double>& pdf);
 
-  // All helpers below assume mutex_ is held.
-  void touch_locked(Entry& entry);
-  void erase_locked(const Key& key);
-  void insert_locked(const Key& key, Entry&& entry);
-  void evict_to_budget_locked();
+  // The "assume mutex_ is held" convention, compiler-checked: calling any
+  // helper without the lock is a thread-safety build error.
+  void touch_locked(Entry& entry) REQUIRES(mutex_);
+  void erase_locked(const Key& key) REQUIRES(mutex_);
+  void insert_locked(const Key& key, Entry&& entry) REQUIRES(mutex_);
+  void evict_to_budget_locked() REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::size_t budget_bytes_;
-  std::size_t resident_bytes_ = 0;
-  std::list<Key> lru_;  ///< front = most recently used
-  std::unordered_map<Key, Entry, KeyHash> entries_;
+  mutable util::Mutex mutex_{util::LockRank::kModelCache};
+  std::size_t budget_bytes_ GUARDED_BY(mutex_);
+  std::size_t resident_bytes_ GUARDED_BY(mutex_) = 0;
+  /// front = most recently used
+  std::list<Key> lru_ GUARDED_BY(mutex_);
+  std::unordered_map<Key, Entry, KeyHash> entries_ GUARDED_BY(mutex_);
   /// id -> lowest admissible revision (see invalidate_below).
-  std::unordered_map<store::DocId, std::uint64_t> floors_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
-  std::uint64_t invalidations_ = 0;
+  std::unordered_map<store::DocId, std::uint64_t> floors_ GUARDED_BY(mutex_);
+  std::uint64_t hits_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t misses_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t evictions_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t invalidations_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace fairdms::fairms

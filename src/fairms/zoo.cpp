@@ -149,19 +149,24 @@ bool ModelZoo::attach_parameters(store::DocId id,
   // were they separate, two mutators of the same record could commit in
   // the opposite order of their revisions, stranding the stored revision
   // below the other's cache floor (permanently uncacheable record).
-  std::lock_guard lock(mutation_mutex_);
+  util::MutexLock lock(mutation_mutex_);
+  const std::uint64_t revision = allocate_revision_locked(id);
+  fields["revision"] = store::Value(static_cast<std::int64_t>(revision));
+  // One store lock, one charge: blob, size scalar, and revision stay
+  // consistent.
+  return collection_->update_fields(id, std::move(fields));
+}
+
+std::uint64_t ModelZoo::allocate_revision_locked(store::DocId id) {
   const std::uint64_t revision =
       revision_.fetch_add(1, std::memory_order_acq_rel) + 1;
-  fields["revision"] = store::Value(static_cast<std::int64_t>(revision));
   // Invalidate BEFORE the commit: a reader that observes the post-commit
   // store state must never hit the pre-mutation cache entry (it would
   // serve outdated — possibly empty — weights). Readers inside the window
   // simply miss and refetch. Raising the floor for an absent id is
   // harmless: nothing can be cached for it.
   cache_->invalidate_below(id, revision);
-  // One store lock, one charge: blob, size scalar, and revision stay
-  // consistent.
-  return collection_->update_fields(id, std::move(fields));
+  return revision;
 }
 
 std::optional<ModelRecord> ModelZoo::fetch(store::DocId id) const {
@@ -309,12 +314,9 @@ bool ModelZoo::reindex(store::DocId id, const std::vector<double>& train_pdf) {
   store::Object fields;
   fields["train_pdf"] = pdf_to_value(train_pdf);
   // Same commit-order critical section as attach_parameters.
-  std::lock_guard lock(mutation_mutex_);
-  const std::uint64_t revision =
-      revision_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  util::MutexLock lock(mutation_mutex_);
+  const std::uint64_t revision = allocate_revision_locked(id);
   fields["revision"] = store::Value(static_cast<std::int64_t>(revision));
-  // Same invalidate-before-commit ordering as attach_parameters.
-  cache_->invalidate_below(id, revision);
   const bool found = collection_->update_fields(id, std::move(fields));
   if (found) {
     // The new PDF is known-valid; keep ranking warm across the re-index.

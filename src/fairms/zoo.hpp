@@ -14,7 +14,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -22,6 +21,8 @@
 
 #include "fairms/model_cache.hpp"
 #include "store/docstore.hpp"
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace fairdms::fairms {
 
@@ -147,6 +148,15 @@ class ModelZoo {
   [[nodiscard]] ModelCache& cache() const { return *cache_; }
 
  private:
+  /// Allocates the next revision and raises `id`'s cache floor to it — the
+  /// first half of every record mutation. The REQUIRES contract makes the
+  /// ordering invariant below compiler-checked: a mutator cannot allocate
+  /// a revision outside the mutation critical section, and the lock rank
+  /// (kZooMutation < kModelCache, kStoreShard) machine-checks that the
+  /// cache invalidate and the store commit both nest inside it.
+  std::uint64_t allocate_revision_locked(store::DocId id)
+      REQUIRES(mutation_mutex_);
+
   store::Collection* collection_;
   std::atomic<std::uint64_t> revision_{0};
   /// Orders record mutations: revision allocation and the store commit
@@ -154,7 +164,7 @@ class ModelZoo {
   /// stored revision can never fall behind a concurrent mutation's cache
   /// floor (which would silently pin the record uncacheable). Reads never
   /// take this lock; mutations are the rare path.
-  std::mutex mutation_mutex_;
+  util::Mutex mutation_mutex_{util::LockRank::kZooMutation};
   std::unique_ptr<ModelCache> cache_;
 };
 

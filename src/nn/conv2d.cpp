@@ -2,9 +2,9 @@
 
 #include <cmath>
 #include <cstring>
-#include <mutex>
 
 #include "util/check.hpp"
+#include "util/mutex.hpp"
 #include "util/thread_pool.hpp"
 
 namespace fairdms::nn {
@@ -156,7 +156,10 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
 
   // Per-chunk weight/bias gradient accumulators are merged under a mutex so
   // results do not depend on thread interleaving order within a chunk.
-  std::mutex merge_mutex;
+  // kTaskLocal: acquired inside pool chunks, possibly while a caller
+  // up-stack holds a subsystem lock (help-while-waiting runs chunks on the
+  // waiting thread), so it ranks above every subsystem mutex.
+  util::Mutex merge_mutex{util::LockRank::kTaskLocal};
   util::ThreadPool::global().parallel_for_chunked(
       n,
       [&](std::size_t /*chunk*/, std::size_t begin, std::size_t end) {
@@ -196,7 +199,7 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
           }
           col2im(gcols.data(), h, w, pgx + i * in_c_ * h * w);
         }
-        std::lock_guard lock(merge_mutex);
+        util::MutexLock lock(merge_mutex);
         grad_weight_.add_(local_gw);
         grad_bias_.add_(local_gb);
       },

@@ -53,14 +53,14 @@ DataService::DataService(fairds::FairDS& ds, DataServiceConfig config,
 DataService::~DataService() { wait_idle(); }
 
 void DataService::record_request(double seconds) {
-  std::lock_guard lock(stats_mutex_);
+  util::MutexLock lock(stats_mutex_);
   stats_.busy_seconds += seconds;
   stats_.max_request_seconds = std::max(stats_.max_request_seconds, seconds);
 }
 
 void DataService::note_admitted() {
   const std::uint64_t depth = workers_.queue_depth();
-  std::lock_guard lock(stats_mutex_);
+  util::MutexLock lock(stats_mutex_);
   stats_.max_queue_depth = std::max(stats_.max_queue_depth, depth);
 }
 
@@ -68,7 +68,7 @@ std::future<LabelResponse> DataService::submit(LabelRequest request) {
   FAIRDMS_CHECK(request.fallback_labeler != nullptr,
                 "LabelRequest without a fallback labeler");
   {
-    std::lock_guard lock(stats_mutex_);
+    util::MutexLock lock(stats_mutex_);
     ++stats_.label_requests;
   }
   auto req = std::make_shared<LabelRequest>(std::move(request));
@@ -82,7 +82,7 @@ std::future<LabelResponse> DataService::submit(LabelRequest request) {
     response.snapshot_version = snap->version();
     response.seconds = timer.seconds();
     {
-      std::lock_guard lock(stats_mutex_);
+      util::MutexLock lock(stats_mutex_);
       ++stats_.label_answered;
       stats_.samples_labeled += req->xs.dim(0);
       stats_.labels_reused += response.reuse.reused;
@@ -95,7 +95,7 @@ std::future<LabelResponse> DataService::submit(LabelRequest request) {
     return response;
   });
   if (!admitted) {
-    std::lock_guard lock(stats_mutex_);
+    util::MutexLock lock(stats_mutex_);
     ++stats_.label_shed;
     return shed_future<LabelResponse>();
   }
@@ -105,7 +105,7 @@ std::future<LabelResponse> DataService::submit(LabelRequest request) {
 
 std::future<LookupResponse> DataService::submit(LookupRequest request) {
   {
-    std::lock_guard lock(stats_mutex_);
+    util::MutexLock lock(stats_mutex_);
     ++stats_.lookup_requests;
   }
   auto req = std::make_shared<LookupRequest>(std::move(request));
@@ -118,14 +118,14 @@ std::future<LookupResponse> DataService::submit(LookupRequest request) {
     response.snapshot_version = snap->version();
     response.seconds = timer.seconds();
     {
-      std::lock_guard lock(stats_mutex_);
+      util::MutexLock lock(stats_mutex_);
       ++stats_.lookup_answered;
     }
     record_request(response.seconds);
     return response;
   });
   if (!admitted) {
-    std::lock_guard lock(stats_mutex_);
+    util::MutexLock lock(stats_mutex_);
     ++stats_.lookup_shed;
     return shed_future<LookupResponse>();
   }
@@ -137,7 +137,7 @@ std::future<RecommendResponse> DataService::submit(RecommendRequest request) {
   FAIRDMS_CHECK(manager_ != nullptr,
                 "RecommendRequest on a DataService without a ModelManager");
   {
-    std::lock_guard lock(stats_mutex_);
+    util::MutexLock lock(stats_mutex_);
     ++stats_.recommend_requests;
   }
   auto req = std::make_shared<RecommendRequest>(std::move(request));
@@ -151,14 +151,14 @@ std::future<RecommendResponse> DataService::submit(RecommendRequest request) {
     response.snapshot_version = snap->version();
     response.seconds = timer.seconds();
     {
-      std::lock_guard lock(stats_mutex_);
+      util::MutexLock lock(stats_mutex_);
       ++stats_.recommend_answered;
     }
     record_request(response.seconds);
     return response;
   });
   if (!admitted) {
-    std::lock_guard lock(stats_mutex_);
+    util::MutexLock lock(stats_mutex_);
     ++stats_.recommend_shed;
     return shed_future<RecommendResponse>();
   }
@@ -172,7 +172,7 @@ bool DataService::request_retrain(const Tensor& xs) {
                                             std::memory_order_acq_rel)) {
     // One check in flight answers the question; coalesce. Counted so a
     // retrain storm shows up in the stats.
-    std::lock_guard lock(stats_mutex_);
+    util::MutexLock lock(stats_mutex_);
     ++stats_.retrains_coalesced;
     return false;
   }
@@ -181,7 +181,7 @@ bool DataService::request_retrain(const Tensor& xs) {
   system_.submit([this, xs] {
     const bool retrained = ds_->maybe_retrain(xs);
     {
-      std::lock_guard lock(stats_mutex_);
+      util::MutexLock lock(stats_mutex_);
       ++stats_.retrain_checks;
       if (retrained) ++stats_.retrains;
     }
@@ -201,7 +201,7 @@ ServiceStats DataService::stats() const {
   // Read the gauge before taking stats_mutex_: queue_depth() takes the
   // pool's own mutex and lock order must stay acyclic.
   const std::uint64_t depth = workers_.queue_depth();
-  std::lock_guard lock(stats_mutex_);
+  util::MutexLock lock(stats_mutex_);
   ServiceStats out = stats_;
   out.queue_depth = depth;
   out.max_pending = config_.max_pending;

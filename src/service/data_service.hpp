@@ -29,9 +29,10 @@
 #include <cstddef>
 #include <future>
 #include <memory>
-#include <mutex>
 
 #include "service/dtos.hpp"
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 #include "util/thread_pool.hpp"
 
 namespace fairdms::service {
@@ -100,17 +101,21 @@ class DataService {
   [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
 
  private:
-  void record_request(double seconds);
+  void record_request(double seconds) EXCLUDES(stats_mutex_);
   /// Samples the pending-queue depth right after an admission and folds it
   /// into the max_queue_depth high-water mark.
-  void note_admitted();
+  void note_admitted() EXCLUDES(stats_mutex_);
 
   fairds::FairDS* ds_;
   DataServiceConfig config_;
   const fairms::ModelManager* manager_;
 
-  mutable std::mutex stats_mutex_;
-  ServiceStats stats_;
+  /// Ranked below the model cache: stats() reads the cache gauges while
+  /// holding this (kServiceStats < kModelCache keeps that order legal and
+  /// machine-checked), and queue_depth() is always read *before* taking it
+  /// so the pool's mutex never nests inside.
+  mutable util::Mutex stats_mutex_{util::LockRank::kServiceStats};
+  ServiceStats stats_ GUARDED_BY(stats_mutex_);
   std::atomic<bool> system_busy_{false};
 
   // Pools last: their destructors run first and drain queued tasks, which

@@ -28,7 +28,7 @@ DataLoader::DataLoader(const Dataset& dataset, LoaderConfig config)
 
 DataLoader::~DataLoader() {
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_space_.notify_all();
@@ -44,14 +44,14 @@ std::size_t DataLoader::batches_per_epoch() const {
 
 void DataLoader::start_epoch(std::size_t epoch) {
   join_workers();
-  FAIRDMS_CHECK(queue_.empty() || batches_taken_ == total_batches_,
-                "start_epoch while previous epoch still in flight");
   if (config_.shuffle) {
     util::Rng rng(config_.seed ^ (epoch * 0x9E3779B97F4A7C15ull));
     rng.shuffle(order_);
   }
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
+    FAIRDMS_CHECK(queue_.empty() || batches_taken_ == total_batches_,
+                  "start_epoch while previous epoch still in flight");
     queue_.clear();
     next_claim_ = 0;
     produced_ = 0;
@@ -59,16 +59,16 @@ void DataLoader::start_epoch(std::size_t epoch) {
     total_batches_ = batches_per_epoch();
     stopping_ = false;
     stall_seconds_ = 0.0;
+    fetch_seconds_ = 0.0;
   }
-  worker_fetch_seconds_.assign(config_.workers, 0.0);
   workers_.clear();
   workers_.reserve(config_.workers);
   for (std::size_t w = 0; w < config_.workers; ++w) {
-    workers_.emplace_back([this, w] { worker_loop(w); });
+    workers_.emplace_back([this] { worker_loop(); });
   }
 }
 
-void DataLoader::worker_loop(std::size_t worker_id) {
+void DataLoader::worker_loop() {
   const std::vector<std::size_t> xs = dataset_->x_shape();
   const std::vector<std::size_t> ys = dataset_->y_shape();
   const std::size_t xe = shape_elems(xs);
@@ -78,7 +78,7 @@ void DataLoader::worker_loop(std::size_t worker_id) {
   for (;;) {
     std::size_t batch_index;
     {
-      std::lock_guard lock(mutex_);
+      util::MutexLock lock(mutex_);
       if (stopping_ || next_claim_ >= total_batches_) return;
       batch_index = next_claim_++;
     }
@@ -103,12 +103,19 @@ void DataLoader::worker_loop(std::size_t worker_id) {
       std::copy(sample.y.begin(), sample.y.end(),
                 batch.ys.data() + i * ye);
     }
-    worker_fetch_seconds_[worker_id] += fetch_timer.seconds();
+    const double fetched = fetch_timer.seconds();
 
-    std::unique_lock lock(mutex_);
-    cv_space_.wait(lock, [this] {
-      return stopping_ || queue_.size() < config_.prefetch_batches;
-    });
+    util::MutexLock lock(mutex_);
+    // Fold fetch time in under the lock (readers take the same lock, which
+    // closes the old unguarded per-worker-slot gauge), including for a
+    // batch that ends up dropped on shutdown.
+    fetch_seconds_ += fetched;
+    // Explicit wait loop (not the predicate overload): Clang TSA analyzes
+    // lambdas as separate functions, so a predicate reading guarded fields
+    // would not be seen as holding the lock.
+    while (!stopping_ && queue_.size() >= config_.prefetch_batches) {
+      cv_space_.wait(lock.native());
+    }
     if (stopping_) return;
     queue_.push_back(std::move(batch));
     ++produced_;
@@ -117,26 +124,38 @@ void DataLoader::worker_loop(std::size_t worker_id) {
 }
 
 std::optional<Batch> DataLoader::next() {
-  std::unique_lock lock(mutex_);
-  if (batches_taken_ >= total_batches_) return std::nullopt;
-  util::WallTimer wait_timer;
-  cv_data_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-  stall_seconds_ += wait_timer.seconds();
-  if (queue_.empty()) return std::nullopt;  // stopped
-  Batch batch = std::move(queue_.front());
-  queue_.pop_front();
-  ++batches_taken_;
-  const bool done = batches_taken_ >= total_batches_;
-  lock.unlock();
+  std::optional<Batch> out;
+  bool done = false;
+  {
+    util::MutexLock lock(mutex_);
+    if (batches_taken_ >= total_batches_) return std::nullopt;
+    util::WallTimer wait_timer;
+    while (!stopping_ && queue_.empty()) cv_data_.wait(lock.native());
+    stall_seconds_ += wait_timer.seconds();
+    if (queue_.empty()) return std::nullopt;  // stopped
+    out = std::move(queue_.front());
+    queue_.pop_front();
+    ++batches_taken_;
+    done = batches_taken_ >= total_batches_;
+  }
   cv_space_.notify_one();
   if (done) join_workers();
-  return batch;
+  return out;
+}
+
+double DataLoader::stall_seconds() const {
+  util::MutexLock lock(mutex_);
+  return stall_seconds_;
 }
 
 double DataLoader::fetch_seconds() const {
-  double total = 0.0;
-  for (double s : worker_fetch_seconds_) total += s;
-  return total;
+  util::MutexLock lock(mutex_);
+  return fetch_seconds_;
+}
+
+std::size_t DataLoader::batches_delivered() const {
+  util::MutexLock lock(mutex_);
+  return batches_taken_;
 }
 
 void DataLoader::join_workers() {

@@ -10,17 +10,21 @@
 // Accounting: `stall_seconds` is the time the training loop spent blocked on
 // next() (I/O not hidden by prefetch); `fetch_seconds` is total worker time
 // spent fetching+decoding (the per-iteration I/O cost of Figs. 6b/7b/8b).
+// All three gauges are guarded by the loader mutex and may be read
+// mid-epoch; workers fold their fetch time in at the batch-push point, so
+// fetch_seconds lags in-flight fetches by at most one batch per worker.
 #pragma once
 
 #include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
 #include "store/dataset.hpp"
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 #include "util/rng.hpp"
 
 namespace fairdms::store {
@@ -58,15 +62,14 @@ class DataLoader {
   [[nodiscard]] std::size_t batches_per_epoch() const;
 
   /// Time next() spent blocked waiting for data this epoch (seconds).
-  [[nodiscard]] double stall_seconds() const { return stall_seconds_; }
+  [[nodiscard]] double stall_seconds() const EXCLUDES(mutex_);
   /// Total worker time spent in Dataset::get + batch assembly this epoch.
-  [[nodiscard]] double fetch_seconds() const;
-  [[nodiscard]] std::size_t batches_delivered() const {
-    return batches_taken_;
-  }
+  [[nodiscard]] double fetch_seconds() const EXCLUDES(mutex_);
+  /// Batches handed out by next() this epoch.
+  [[nodiscard]] std::size_t batches_delivered() const EXCLUDES(mutex_);
 
  private:
-  void worker_loop(std::size_t worker_id);
+  void worker_loop() EXCLUDES(mutex_);
   void join_workers();
 
   const Dataset* dataset_;
@@ -74,18 +77,18 @@ class DataLoader {
   std::vector<std::size_t> order_;
 
   std::vector<std::thread> workers_;
-  std::vector<double> worker_fetch_seconds_;
 
-  std::mutex mutex_;
+  mutable util::Mutex mutex_{util::LockRank::kDataLoader};
   std::condition_variable cv_space_;
   std::condition_variable cv_data_;
-  std::deque<Batch> queue_;
-  std::size_t next_claim_ = 0;   // next batch index a worker may claim
-  std::size_t produced_ = 0;     // batches pushed to the queue
-  std::size_t batches_taken_ = 0;
-  std::size_t total_batches_ = 0;
-  bool stopping_ = false;
-  double stall_seconds_ = 0.0;
+  std::deque<Batch> queue_ GUARDED_BY(mutex_);
+  std::size_t next_claim_ GUARDED_BY(mutex_) = 0;  // next claimable batch
+  std::size_t produced_ GUARDED_BY(mutex_) = 0;    // batches pushed
+  std::size_t batches_taken_ GUARDED_BY(mutex_) = 0;
+  std::size_t total_batches_ GUARDED_BY(mutex_) = 0;
+  bool stopping_ GUARDED_BY(mutex_) = false;
+  double stall_seconds_ GUARDED_BY(mutex_) = 0.0;
+  double fetch_seconds_ GUARDED_BY(mutex_) = 0.0;
 };
 
 }  // namespace fairdms::store

@@ -1,7 +1,6 @@
 #include "store/docstore.hpp"
 
 #include <algorithm>
-#include <mutex>
 
 #include "util/check.hpp"
 #include "util/logging.hpp"
@@ -54,7 +53,7 @@ DocId Collection::insert_one(Value doc) {
   const std::size_t bytes = doc_bytes(doc);
   Shard& shard = shard_of(id);
   {
-    std::unique_lock lock(shard.mutex);
+    util::MutexLock lock(shard.mutex);
     shard.payload_bytes += bytes;
     index_insert_locked(shard, id, doc);
     shard.docs.emplace(id, StoredDoc{std::move(doc), bytes});
@@ -86,7 +85,7 @@ std::vector<DocId> Collection::insert_many(std::vector<Value> docs) {
   for_each_shard(n, [&](std::size_t s) {
     if (per_shard[s].empty()) return;
     Shard& shard = *shards_[s];
-    std::unique_lock lock(shard.mutex);
+    util::MutexLock lock(shard.mutex);
     for (const std::size_t i : per_shard[s]) {
       shard.payload_bytes += sizes[i];
       index_insert_locked(shard, ids[i], docs[i]);
@@ -102,7 +101,7 @@ std::optional<Value> Collection::find_by_id(DocId id) const {
   std::size_t bytes = 64;
   Shard& shard = shard_of(id);
   {
-    std::shared_lock lock(shard.mutex);
+    util::ReaderLock lock(shard.mutex);
     auto it = shard.docs.find(id);
     if (it != shard.docs.end()) {
       out = it->second.doc;
@@ -125,7 +124,7 @@ std::vector<std::optional<Value>> Collection::find_many(
     if (per_shard[s].empty()) return;
     Shard& shard = *shards_[s];
     std::size_t bytes = 0;
-    std::shared_lock lock(shard.mutex);
+    util::ReaderLock lock(shard.mutex);
     for (const std::size_t i : per_shard[s]) {
       auto it = shard.docs.find(ids[i]);
       if (it == shard.docs.end()) continue;
@@ -158,7 +157,7 @@ bool Collection::replace_one(DocId id, Value doc) {
   bool found = false;
   Shard& shard = shard_of(id);
   {
-    std::unique_lock lock(shard.mutex);
+    util::MutexLock lock(shard.mutex);
     auto it = shard.docs.find(id);
     if (it != shard.docs.end()) {
       index_remove_locked(shard, id, it->second.doc);
@@ -213,7 +212,7 @@ bool Collection::update_fields(DocId id, Object fields) {
   std::size_t value_bytes = 0;
   Shard& shard = shard_of(id);
   {
-    std::unique_lock lock(shard.mutex);
+    util::MutexLock lock(shard.mutex);
     value_bytes = update_fields_locked(shard, id, std::move(fields), found);
   }
   charge(64 + value_bytes);
@@ -233,7 +232,7 @@ std::size_t Collection::update_many(
   for_each_shard(updates.size(), [&](std::size_t s) {
     if (per_shard[s].empty()) return;
     Shard& shard = *shards_[s];
-    std::unique_lock lock(shard.mutex);
+    util::MutexLock lock(shard.mutex);
     for (const std::size_t i : per_shard[s]) {
       bool found = false;
       shard_bytes[s] += update_fields_locked(
@@ -255,7 +254,7 @@ bool Collection::remove_one(DocId id) {
   bool found = false;
   Shard& shard = shard_of(id);
   {
-    std::unique_lock lock(shard.mutex);
+    util::MutexLock lock(shard.mutex);
     auto it = shard.docs.find(id);
     if (it != shard.docs.end()) {
       index_remove_locked(shard, id, it->second.doc);
@@ -271,7 +270,7 @@ bool Collection::remove_one(DocId id) {
 void Collection::create_index(const std::string& field) {
   for (const auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    std::unique_lock lock(shard.mutex);
+    util::MutexLock lock(shard.mutex);
     if (shard.indexes.count(field) > 0) continue;
     auto& index = shard.indexes[field];
     for (const auto& [id, stored] : shard.docs) {
@@ -285,8 +284,9 @@ void Collection::create_index(const std::string& field) {
 bool Collection::has_index(const std::string& field) const {
   // create_index installs the field on every shard before returning, so
   // shard 0 is authoritative.
-  std::shared_lock lock(shards_[0]->mutex);
-  return shards_[0]->indexes.count(field) > 0;
+  const Shard& shard = *shards_[0];
+  util::ReaderLock lock(shard.mutex);
+  return shard.indexes.count(field) > 0;
 }
 
 std::vector<DocId> Collection::find_eq(const std::string& field,
@@ -294,7 +294,7 @@ std::vector<DocId> Collection::find_eq(const std::string& field,
   std::vector<DocId> out;
   for (const auto& shard_ptr : shards_) {
     const Shard& shard = *shard_ptr;
-    std::shared_lock lock(shard.mutex);
+    util::ReaderLock lock(shard.mutex);
     auto idx = shard.indexes.find(field);
     if (idx != shard.indexes.end()) {
       auto it = idx->second.find(value);
@@ -320,7 +320,7 @@ std::vector<DocId> Collection::find_range(const std::string& field,
   std::vector<DocId> out;
   for (const auto& shard_ptr : shards_) {
     const Shard& shard = *shard_ptr;
-    std::shared_lock lock(shard.mutex);
+    util::ReaderLock lock(shard.mutex);
     auto idx = shard.indexes.find(field);
     if (idx != shard.indexes.end()) {
       for (auto it = idx->second.lower_bound(lo);
@@ -344,7 +344,7 @@ void Collection::scan(
     const std::function<void(DocId, const Value&)>& fn) const {
   for (const auto& shard_ptr : shards_) {
     const Shard& shard = *shard_ptr;
-    std::shared_lock lock(shard.mutex);
+    util::ReaderLock lock(shard.mutex);
     for (const auto& [id, stored] : shard.docs) fn(id, stored.doc);
   }
 }
@@ -356,7 +356,7 @@ std::vector<DocId> Collection::all_ids() const {
   const std::size_t total = size();
   for_each_shard(total, [&](std::size_t s) {
     const Shard& shard = *shards_[s];
-    std::shared_lock lock(shard.mutex);
+    util::ReaderLock lock(shard.mutex);
     per_shard[s].reserve(shard.docs.size());
     for (const auto& [id, _] : shard.docs) per_shard[s].push_back(id);
   });
@@ -373,8 +373,9 @@ std::vector<DocId> Collection::all_ids() const {
 std::size_t Collection::size() const {
   std::size_t total = 0;
   for (const auto& shard_ptr : shards_) {
-    std::shared_lock lock(shard_ptr->mutex);
-    total += shard_ptr->docs.size();
+    const Shard& shard = *shard_ptr;
+    util::ReaderLock lock(shard.mutex);
+    total += shard.docs.size();
   }
   return total;
 }
@@ -382,17 +383,19 @@ std::size_t Collection::size() const {
 std::size_t Collection::approx_bytes() const {
   std::size_t total = 0;
   for (const auto& shard_ptr : shards_) {
-    std::shared_lock lock(shard_ptr->mutex);
-    total += shard_ptr->payload_bytes;
+    const Shard& shard = *shard_ptr;
+    util::ReaderLock lock(shard.mutex);
+    total += shard.payload_bytes;
   }
   return total;
 }
 
 std::vector<std::string> Collection::index_fields() const {
-  std::shared_lock lock(shards_[0]->mutex);
+  const Shard& shard = *shards_[0];
+  util::ReaderLock lock(shard.mutex);
   std::vector<std::string> fields;
-  fields.reserve(shards_[0]->indexes.size());
-  for (const auto& [field, _] : shards_[0]->indexes) fields.push_back(field);
+  fields.reserve(shard.indexes.size());
+  for (const auto& [field, _] : shard.indexes) fields.push_back(field);
   std::sort(fields.begin(), fields.end());
   return fields;
 }
@@ -411,7 +414,7 @@ void Collection::restore(DocId next_id,
     FAIRDMS_CHECK(id < next_id, "restore: id ", id, " >= next_id ", next_id);
     const std::size_t bytes = doc_bytes(doc);
     Shard& shard = shard_of(id);
-    std::unique_lock lock(shard.mutex);
+    util::MutexLock lock(shard.mutex);
     shard.payload_bytes += bytes;
     index_insert_locked(shard, id, doc);
     shard.docs.emplace(id, StoredDoc{std::move(doc), bytes});
@@ -441,7 +444,7 @@ Collection& DocStore::collection(const std::string& name,
                                  std::size_t shards) {
   const std::size_t want = shards == 0 ? default_shards_ : shards;
   {
-    std::shared_lock lock(mutex_);
+    util::ReaderLock lock(mutex_);
     auto it = collections_.find(name);
     if (it != collections_.end()) {
       if (shards != 0 && it->second->shard_count() != want) {
@@ -452,7 +455,7 @@ Collection& DocStore::collection(const std::string& name,
       return *it->second;
     }
   }
-  std::unique_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto& slot = collections_[name];
   if (!slot) {
     slot = std::make_unique<Collection>(name, is_remote() ? &link_ : nullptr,
@@ -462,12 +465,12 @@ Collection& DocStore::collection(const std::string& name,
 }
 
 bool DocStore::has_collection(const std::string& name) const {
-  std::shared_lock lock(mutex_);
+  util::ReaderLock lock(mutex_);
   return collections_.count(name) > 0;
 }
 
 std::vector<std::string> DocStore::collection_names() const {
-  std::shared_lock lock(mutex_);
+  util::ReaderLock lock(mutex_);
   std::vector<std::string> names;
   names.reserve(collections_.size());
   for (const auto& [name, _] : collections_) names.push_back(name);

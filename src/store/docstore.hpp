@@ -40,7 +40,6 @@
 #include <map>
 #include <memory>
 #include <optional>
-#include <shared_mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -49,6 +48,8 @@
 
 #include "store/document.hpp"
 #include "store/remote_link.hpp"
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace fairdms::store {
 
@@ -160,12 +161,12 @@ class Collection {
   /// (shared_mutex is immovable) and never resized after construction, so
   /// shard lookup itself is lock-free.
   struct Shard {
-    mutable std::shared_mutex mutex;
-    std::unordered_map<DocId, StoredDoc> docs;
-    std::size_t payload_bytes = 0;
+    mutable util::SharedMutex mutex{util::LockRank::kStoreShard};
+    std::unordered_map<DocId, StoredDoc> docs GUARDED_BY(mutex);
+    std::size_t payload_bytes GUARDED_BY(mutex) = 0;
     /// field -> (value -> ids); std::map keys give ordered range scans.
     std::unordered_map<std::string, std::map<Value, std::vector<DocId>>>
-        indexes;
+        indexes GUARDED_BY(mutex);
   };
 
   [[nodiscard]] std::size_t shard_index(DocId id) const {
@@ -185,15 +186,18 @@ class Collection {
   void for_each_shard(std::size_t items,
                       const std::function<void(std::size_t)>& body) const;
 
-  static void index_insert_locked(Shard& shard, DocId id, const Value& doc);
-  static void index_remove_locked(Shard& shard, DocId id, const Value& doc);
+  static void index_insert_locked(Shard& shard, DocId id, const Value& doc)
+      REQUIRES(shard.mutex);
+  static void index_remove_locked(Shard& shard, DocId id, const Value& doc)
+      REQUIRES(shard.mutex);
   /// Applies `fields` to an existing document under the shard's exclusive
   /// lock, maintaining indexes, the cached size, and payload_bytes.
   /// Returns the encoded request-payload bytes to charge — the values
   /// travel to the server whether or not the document exists, so absent
   /// ids charge too.
   static std::size_t update_fields_locked(Shard& shard, DocId id,
-                                          Object&& fields, bool& found);
+                                          Object&& fields, bool& found)
+      REQUIRES(shard.mutex);
   void charge(std::size_t bytes) const {
     if (link_ != nullptr) link_->charge(bytes);
   }
@@ -240,8 +244,9 @@ class DocStore {
   RemoteLink link_{RemoteLinkConfig{.latency_seconds = 0.0,
                                     .bandwidth_bytes_per_s = 1e12}};
   std::size_t default_shards_ = 1;
-  mutable std::shared_mutex mutex_;
-  std::map<std::string, std::unique_ptr<Collection>> collections_;
+  mutable util::SharedMutex mutex_{util::LockRank::kStoreMap};
+  std::map<std::string, std::unique_ptr<Collection>> collections_
+      GUARDED_BY(mutex_);
 };
 
 }  // namespace fairdms::store

@@ -54,7 +54,7 @@ void NfsStore::write_dataset(const std::string& name,
                              const nn::Batchset& data) {
   FAIRDMS_CHECK(data.size() > 0, "write_dataset: empty batchset");
   {
-    std::lock_guard lock(meta_mutex_);
+    util::MutexLock lock(meta_mutex_);
     meta_cache_.erase(name);
   }
   const std::size_t n = data.size();
@@ -66,12 +66,21 @@ void NfsStore::write_dataset(const std::string& name,
   const std::size_t y_elems = shape_elems(ys);
 
   {
-    std::ofstream meta(root_ + "/" + name + ".meta", std::ios::binary);
-    FAIRDMS_CHECK(meta.good(), "cannot write NFS metadata for ", name);
-    const std::uint64_t count = n;
-    meta.write(reinterpret_cast<const char*>(&count), 8);
-    write_shape(meta, xs);
-    write_shape(meta, ys);
+    // Write-then-rename so a concurrent read_meta (cache just invalidated
+    // above) never observes a truncated metadata file: POSIX rename swaps
+    // the directory entry atomically and in-flight readers keep the old
+    // inode.
+    const std::string meta_path = root_ + "/" + name + ".meta";
+    const std::string tmp_path = meta_path + ".tmp";
+    {
+      std::ofstream meta(tmp_path, std::ios::binary);
+      FAIRDMS_CHECK(meta.good(), "cannot write NFS metadata for ", name);
+      const std::uint64_t count = n;
+      meta.write(reinterpret_cast<const char*>(&count), 8);
+      write_shape(meta, xs);
+      write_shape(meta, ys);
+    }
+    fs::rename(tmp_path, meta_path);
   }
 
   for (std::size_t i = 0; i < n; ++i) {
@@ -85,8 +94,8 @@ void NfsStore::write_dataset(const std::string& name,
   }
 }
 
-const NfsStore::Meta& NfsStore::read_meta(const std::string& name) const {
-  std::lock_guard lock(meta_mutex_);
+NfsStore::Meta NfsStore::read_meta(const std::string& name) const {
+  util::MutexLock lock(meta_mutex_);
   auto it = meta_cache_.find(name);
   if (it != meta_cache_.end()) return it->second;
   std::ifstream in(root_ + "/" + name + ".meta", std::ios::binary);

@@ -6,12 +6,13 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "nn/trainer.hpp"
 #include "store/remote_link.hpp"
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace fairdms::store {
 
@@ -42,14 +43,18 @@ class NfsStore {
     std::size_t count = 0;
   };
   /// Metadata is cached after first read (clients stat once, then stream).
-  [[nodiscard]] const Meta& read_meta(const std::string& name) const;
+  /// Returned *by value*: a reference into meta_cache_ would escape
+  /// meta_mutex_ and dangle when a concurrent write_dataset erases the
+  /// entry (the lock contract the annotations now enforce).
+  [[nodiscard]] Meta read_meta(const std::string& name) const
+      EXCLUDES(meta_mutex_);
   [[nodiscard]] std::string sample_path(const std::string& name,
                                         std::size_t index) const;
 
   std::string root_;
   RemoteLink link_;
-  mutable std::mutex meta_mutex_;
-  mutable std::map<std::string, Meta> meta_cache_;
+  mutable util::Mutex meta_mutex_{util::LockRank::kNfsMeta};
+  mutable std::map<std::string, Meta> meta_cache_ GUARDED_BY(meta_mutex_);
 };
 
 }  // namespace fairdms::store

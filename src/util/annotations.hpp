@@ -1,0 +1,76 @@
+#pragma once
+
+// Clang Thread Safety Analysis annotation macros.
+//
+// These wrap the `capability`-family attributes so that lock contracts —
+// which fields a mutex guards, which functions require a lock to be held,
+// which RAII types acquire and release — are stated in code and checked at
+// compile time by `-Wthread-safety -Wthread-safety-beta` (the
+// `clang-analysis` CI job builds with both as errors). Under GCC, or under
+// a Clang too old to know an attribute, every macro expands to nothing, so
+// the annotations are zero-cost on every other toolchain.
+//
+// Spellings follow the reference mutex.h from the Clang Thread Safety
+// Analysis documentation (also the scheme Abseil uses). The one deliberate
+// deviation: RELEASE_GENERIC maps to the legacy `unlock_function`
+// attribute, which releases a capability whether it was acquired exclusive
+// or shared — the right annotation for a scoped-lock destructor that may
+// wrap either mode.
+//
+// Usage map for this codebase:
+//   CAPABILITY("mutex")   util::Mutex / util::SharedMutex (util/mutex.hpp)
+//   SCOPED_CAPABILITY     util::MutexLock / util::ReaderLock
+//   GUARDED_BY(mu)        on fields: writes need `mu` exclusive, reads
+//                         need it at least shared
+//   REQUIRES(mu)          on functions: caller must already hold `mu`
+//                         (the `*_locked` helper convention, now checked)
+//   EXCLUDES(mu)          on functions: caller must NOT hold `mu`
+//                         (self-deadlock guard on public entry points)
+
+#if defined(__clang__) && defined(__has_attribute)
+#define FAIRDMS_TSA_HAS(x) __has_attribute(x)
+#else
+#define FAIRDMS_TSA_HAS(x) 0
+#endif
+
+#if FAIRDMS_TSA_HAS(capability)
+#define FAIRDMS_TSA(x) __attribute__((x))
+#else
+#define FAIRDMS_TSA(x)  // no-op off Clang
+#endif
+
+#define CAPABILITY(x) FAIRDMS_TSA(capability(x))
+#define SCOPED_CAPABILITY FAIRDMS_TSA(scoped_lockable)
+
+#define GUARDED_BY(x) FAIRDMS_TSA(guarded_by(x))
+#define PT_GUARDED_BY(x) FAIRDMS_TSA(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) FAIRDMS_TSA(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) FAIRDMS_TSA(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) FAIRDMS_TSA(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) FAIRDMS_TSA(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) FAIRDMS_TSA(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) FAIRDMS_TSA(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) FAIRDMS_TSA(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) FAIRDMS_TSA(release_shared_capability(__VA_ARGS__))
+#if FAIRDMS_TSA_HAS(release_generic_capability)
+#define RELEASE_GENERIC(...) FAIRDMS_TSA(release_generic_capability(__VA_ARGS__))
+#else
+#define RELEASE_GENERIC(...) FAIRDMS_TSA(unlock_function(__VA_ARGS__))
+#endif
+
+#define TRY_ACQUIRE(...) FAIRDMS_TSA(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  FAIRDMS_TSA(try_acquire_shared_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) FAIRDMS_TSA(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) FAIRDMS_TSA(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) FAIRDMS_TSA(assert_shared_capability(x))
+
+#define RETURN_CAPABILITY(x) FAIRDMS_TSA(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS FAIRDMS_TSA(no_thread_safety_analysis)

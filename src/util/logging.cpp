@@ -2,11 +2,16 @@
 
 #include <atomic>
 
+#include "util/mutex.hpp"
+
 namespace fairdms::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_emit_mutex;
+// Serializes the interleaving of whole lines on std::cerr. Innermost rank:
+// any subsystem may log while holding its own lock (e.g. DocStore logs
+// collection creation under the map lock).
+Mutex g_emit_mutex{LockRank::kLogging};
 
 constexpr std::string_view level_name(LogLevel level) {
   switch (level) {
@@ -30,7 +35,7 @@ void set_log_level(LogLevel level) noexcept {
 
 namespace detail {
 void log_emit(LogLevel level, std::string_view message) {
-  std::lock_guard lock(g_emit_mutex);
+  MutexLock lock(g_emit_mutex);
   std::cerr << "[fairdms " << level_name(level) << "] " << message << '\n';
 }
 }  // namespace detail

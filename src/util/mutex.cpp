@@ -1,0 +1,83 @@
+#include "util/mutex.hpp"
+
+#ifndef NDEBUG
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fairdms::util::lock_rank_detail {
+
+namespace {
+
+/// Per-thread stack of ranks currently held, in acquisition order.
+///
+/// Deliberately a trivially-destructible POD (fixed array + depth), not a
+/// std::vector: the global ThreadPool is torn down by an atexit handler,
+/// which on the main thread runs *after* TLS destructors — a vector here
+/// would already be freed when the pool's shutdown lock() records its rank
+/// (a heap-use-after-free TSan catches). Trivial TLS objects have no
+/// destructor and their storage stays valid until the thread truly ends.
+constexpr int kMaxHeld = 64;
+struct HeldStack {
+  int ranks[kMaxHeld];
+  int depth;
+};
+
+HeldStack& held_stack() {
+  thread_local HeldStack stack{};
+  return stack;
+}
+
+}  // namespace
+
+void check_acquire(int rank, const char* what) {
+  if (rank == 0) return;  // kUnranked opts out
+  const HeldStack& stack = held_stack();
+  for (int i = 0; i < stack.depth; ++i) {
+    if (stack.ranks[i] >= rank) {
+      std::fprintf(stderr,
+                   "FAIRDMS LOCK-RANK VIOLATION in %s: acquiring rank %d "
+                   "while holding rank %d (locks must be acquired in "
+                   "strictly increasing rank; see util::LockRank)\n",
+                   what, rank, stack.ranks[i]);
+      std::abort();
+    }
+  }
+}
+
+void note_acquired(int rank) {
+  if (rank == 0) return;
+  HeldStack& stack = held_stack();
+  if (stack.depth >= kMaxHeld) {
+    std::fprintf(stderr,
+                 "FAIRDMS LOCK-RANK OVERFLOW: thread holds more than %d "
+                 "ranked locks\n",
+                 kMaxHeld);
+    std::abort();
+  }
+  stack.ranks[stack.depth++] = rank;
+}
+
+void note_released(int rank) {
+  if (rank == 0) return;
+  HeldStack& stack = held_stack();
+  // Locks normally release LIFO, but unique_lock-style early unlocks may
+  // interleave: drop the most recent occurrence of this rank.
+  for (int i = stack.depth - 1; i >= 0; --i) {
+    if (stack.ranks[i] == rank) {
+      for (int j = i; j + 1 < stack.depth; ++j) {
+        stack.ranks[j] = stack.ranks[j + 1];
+      }
+      --stack.depth;
+      return;
+    }
+  }
+}
+
+std::size_t held_ranks() {
+  return static_cast<std::size_t>(held_stack().depth);
+}
+
+}  // namespace fairdms::util::lock_rank_detail
+
+#endif  // NDEBUG

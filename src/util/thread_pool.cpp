@@ -21,7 +21,7 @@ ThreadPool::ThreadPool(std::size_t threads, std::size_t max_queue)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_task_.notify_all();
@@ -30,7 +30,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     FAIRDMS_CHECK(!stop_, "submit() on stopped pool");
     tasks_.push(std::move(task));
     ++in_flight_;
@@ -40,7 +40,7 @@ void ThreadPool::submit(std::function<void()> task) {
 
 bool ThreadPool::try_submit(std::function<void()> task) {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     FAIRDMS_CHECK(!stop_, "try_submit() on stopped pool");
     if (max_queue_ != 0 && tasks_.size() >= max_queue_) return false;
     tasks_.push(std::move(task));
@@ -51,26 +51,29 @@ bool ThreadPool::try_submit(std::function<void()> task) {
 }
 
 std::size_t ThreadPool::queue_depth() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return tasks_.size();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  // Explicit loop (not a wait-with-predicate): TSA analyzes a predicate
+  // lambda as a separate function, where the capability is not visibly
+  // held, so `in_flight_` must be read in this scope.
+  while (in_flight_ != 0) cv_idle_.wait(lock.native());
 }
 
 bool ThreadPool::try_run_one() {
   std::function<void()> task;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (tasks_.empty()) return false;
     task = std::move(tasks_.front());
     tasks_.pop();
   }
   task();
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     --in_flight_;
     if (in_flight_ == 0) cv_idle_.notify_all();
   }
@@ -81,15 +84,15 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stop_ && tasks_.empty()) cv_task_.wait(lock.native());
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
     }
     task();
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       --in_flight_;
       if (in_flight_ == 0) cv_idle_.notify_all();
     }

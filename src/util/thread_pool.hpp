@@ -12,12 +12,14 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <queue>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace fairdms::util {
 
@@ -79,12 +81,12 @@ class ThreadPool {
   /// Tasks admitted but not yet picked up by a worker (the backlog the
   /// max_queue bound applies to). A point-in-time gauge: concurrent
   /// submits/completions may change it immediately after the read.
-  [[nodiscard]] std::size_t queue_depth() const;
+  [[nodiscard]] std::size_t queue_depth() const EXCLUDES(mutex_);
 
   [[nodiscard]] std::size_t max_queue() const noexcept { return max_queue_; }
 
   /// Block until every submitted task has finished.
-  void wait_idle();
+  void wait_idle() EXCLUDES(mutex_);
 
   /// Run body(begin, end) over [0, n) split into ~3x-oversubscribed chunks,
   /// blocking until complete. body is invoked concurrently; it must handle
@@ -106,19 +108,21 @@ class ThreadPool {
   static ThreadPool& global();
 
  private:
-  void worker_loop();
+  void worker_loop() EXCLUDES(mutex_);
   /// Pop and execute one queued task if available. Returns false when the
   /// queue was empty. Used by parallel_for waiters to help instead of block.
-  bool try_run_one();
+  bool try_run_one() EXCLUDES(mutex_);
 
+  // Written in the constructor, joined in the destructor, size() in
+  // between: immutable while any other thread can see the pool.
   std::vector<std::thread> workers_;
-  std::size_t max_queue_ = 0;
-  std::queue<std::function<void()>> tasks_;
-  mutable std::mutex mutex_;
+  std::size_t max_queue_ = 0;  // const after construction
+  mutable Mutex mutex_{LockRank::kThreadPool};
+  std::queue<std::function<void()>> tasks_ GUARDED_BY(mutex_);
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
-  std::size_t in_flight_ = 0;
-  bool stop_ = false;
+  std::size_t in_flight_ GUARDED_BY(mutex_) = 0;
+  bool stop_ GUARDED_BY(mutex_) = false;
 };
 
 /// Convenience wrapper over the global pool.

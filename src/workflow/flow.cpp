@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <condition_variable>
-#include <mutex>
 #include <thread>
 
 #include "util/check.hpp"
+#include "util/mutex.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -82,7 +82,9 @@ FlowReport Flow::run() {
   FlowReport report;
   report.tasks.reserve(n);
   util::WallTimer flow_timer;
-  std::mutex mutex;
+  // kTaskLocal: taken inside pool tasks, possibly while a caller up-stack
+  // holds the system plane — so it must rank above every subsystem lock.
+  util::Mutex mutex{util::LockRank::kTaskLocal};
   std::condition_variable cv_done;
   std::size_t completed = 0;
   auto& pool = flow_pool();
@@ -95,7 +97,7 @@ FlowReport Flow::run() {
       const double end = flow_timer.seconds();
       std::vector<std::size_t> ready;
       {
-        std::lock_guard lock(mutex);
+        util::MutexLock lock(mutex);
         report.tasks.push_back(TaskReport{tasks_[i].name, start, end});
         ++completed;
         for (std::size_t d : dependents[i]) {
@@ -118,8 +120,8 @@ FlowReport Flow::run() {
     for (std::size_t i : roots) launch(i);
   }
 
-  std::unique_lock lock(mutex);
-  cv_done.wait(lock, [&] { return completed == n; });
+  util::MutexLock lock(mutex);
+  while (completed != n) cv_done.wait(lock.native());
   report.total_seconds = flow_timer.seconds();
   return report;
 }

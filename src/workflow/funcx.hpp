@@ -8,10 +8,11 @@
 #include <condition_variable>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "store/document.hpp"
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace fairdms::workflow {
 
@@ -36,7 +37,8 @@ class FuncXRegistry {
 
   /// Invokes synchronously, waiting for endpoint capacity first (the funcX
   /// queue). Thread-safe; concurrent callers share endpoint slots.
-  Payload invoke(const std::string& name, const Payload& arg);
+  Payload invoke(const std::string& name, const Payload& arg)
+      EXCLUDES(mutex_);
 
   [[nodiscard]] bool has_function(const std::string& name) const;
   [[nodiscard]] EndpointStats stats(const std::string& endpoint) const;
@@ -52,10 +54,10 @@ class FuncXRegistry {
     Function fn;
   };
 
-  mutable std::mutex mutex_;
+  mutable util::Mutex mutex_{util::LockRank::kWorkflow};
   std::condition_variable cv_slot_;
-  std::map<std::string, Endpoint> endpoints_;
-  std::map<std::string, Registered> functions_;
+  std::map<std::string, Endpoint> endpoints_ GUARDED_BY(mutex_);
+  std::map<std::string, Registered> functions_ GUARDED_BY(mutex_);
 };
 
 }  // namespace fairdms::workflow

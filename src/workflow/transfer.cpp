@@ -8,14 +8,14 @@ void TransferService::set_link(const std::string& src, const std::string& dst,
                                LinkSpec spec) {
   FAIRDMS_CHECK(spec.bandwidth_bytes_per_s > 0.0,
                 "link needs positive bandwidth");
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   links_[{src, dst}] = spec;
 }
 
 double TransferService::transfer(const std::string& src,
                                  const std::string& dst,
                                  std::uint64_t bytes) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = links_.find({src, dst});
   FAIRDMS_CHECK(it != links_.end(), "no link ", src, " -> ", dst);
   const LinkSpec& spec = it->second;
@@ -31,7 +31,7 @@ double TransferService::transfer(const std::string& src,
 
 TransferStats TransferService::stats(const std::string& src,
                                      const std::string& dst) const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = stats_.find({src, dst});
   return it == stats_.end() ? TransferStats{} : it->second;
 }

@@ -6,8 +6,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
+#include <utility>
+
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace fairdms::workflow {
 
@@ -38,9 +41,9 @@ class TransferService {
 
  private:
   using Key = std::pair<std::string, std::string>;
-  mutable std::mutex mutex_;
-  std::map<Key, LinkSpec> links_;
-  std::map<Key, TransferStats> stats_;
+  mutable util::Mutex mutex_{util::LockRank::kWorkflow};
+  std::map<Key, LinkSpec> links_ GUARDED_BY(mutex_);
+  std::map<Key, TransferStats> stats_ GUARDED_BY(mutex_);
 };
 
 }  // namespace fairdms::workflow

@@ -391,11 +391,17 @@ TEST(PayloadAccounting, EncodedSizeMatchesEncode) {
 std::size_t rebuilt_bytes(store::Collection& col) {
   store::DocStore fresh_db;
   auto& fresh = fresh_db.collection("fresh");
+  // Buffer during the scan, insert after: the scan callback runs under the
+  // source shard's lock, and inserting into another collection from inside
+  // it nests two same-rank shard locks (the lock-rank checker aborts, and
+  // two threads doing crossed scan/insert could genuinely deadlock).
+  std::vector<Value> copies;
   col.scan([&](store::DocId, const Value& doc) {
     Object copy = doc.as_object();
     copy.erase("_id");  // re-assigned on insert; same encoded size
-    fresh.insert_one(Value(std::move(copy)));
+    copies.emplace_back(std::move(copy));
   });
+  for (Value& copy : copies) fresh.insert_one(std::move(copy));
   return fresh.approx_bytes();
 }
 
