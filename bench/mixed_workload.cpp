@@ -119,13 +119,10 @@ Preset saturate_preset() {
           {25, 45, 10, 5, 15}};
 }
 
-/// TPC-C NURand(A, 0, n-1): ORing two uniform draws concentrates results
-/// on a hot subset of the key space; C decorrelates the hot set from the
-/// key order.
+/// NURand hot-key skew specialized to this bench's pool space (the shared
+/// construction lives in bench_common.hpp; net_workload draws from it too).
 std::size_t nurand(util::Rng& rng, std::size_t n, std::size_t c) {
-  const std::size_t a = rng.uniform_index(kNurandA + 1);
-  const std::size_t b = rng.uniform_index(n);
-  return ((a | b) + c) % n;
+  return bench::nurand(rng, kNurandA, n, c);
 }
 
 struct Txn {
@@ -145,13 +142,8 @@ struct Workload {
   std::vector<std::vector<Txn>> scripts;            // per client
 };
 
-/// Per-client, per-op measurements; merged after the join.
-struct OpTally {
-  std::uint64_t submitted = 0;
-  std::uint64_t answered = 0;
-  std::uint64_t shed = 0;
-  std::vector<double> latencies;  ///< seconds, answered requests only
-};
+using bench::OpTally;
+using bench::pct_ms;
 
 fairdms::nn::Tensor head_rows(const fairdms::nn::Tensor& xs, std::size_t n) {
   if (n >= xs.dim(0)) return xs;
@@ -185,25 +177,17 @@ Workload build_workload(const Preset& preset,
   const std::size_t nurand_c = rng.uniform_index(kQueryPools);
   for (std::size_t c = 0; c < preset.clients; ++c) {
     util::Rng client_rng = rng.fork(1000 + c);
-    std::vector<Op> deck;
-    deck.reserve(preset.txns_per_client);
     const MixWeights& mix = preset.weights;
-    const std::size_t counts[kOpCount] = {
-        preset.txns_per_client * mix.ingest / 100,
-        preset.txns_per_client * mix.label / 100,
-        preset.txns_per_client * mix.rank / 100,
-        preset.txns_per_client * mix.publish / 100,
-        preset.txns_per_client * mix.retrain / 100,
-    };
-    for (std::size_t op = 0; op < kOpCount; ++op) {
-      deck.insert(deck.end(), counts[op], static_cast<Op>(op));
-    }
-    while (deck.size() < preset.txns_per_client) deck.push_back(Op::kLabel);
-    client_rng.shuffle(deck);
+    const std::size_t weights[kOpCount] = {mix.ingest, mix.label, mix.rank,
+                                           mix.publish, mix.retrain};
+    const std::vector<std::size_t> deck =
+        bench::build_deck(client_rng, preset.txns_per_client, weights,
+                          static_cast<std::size_t>(Op::kLabel));
 
     std::vector<Txn> script;
     script.reserve(deck.size());
-    for (const Op op : deck) {
+    for (const std::size_t op_index : deck) {
+      const Op op = static_cast<Op>(op_index);
       Txn txn{op, 0};
       switch (op) {
         case Op::kIngest: {
@@ -359,20 +343,10 @@ RunResult run_mix(const Preset& preset, const Workload& w,
   result.baseline = baseline;
   for (std::size_t c = 0; c < preset.clients; ++c) {
     for (std::size_t op = 0; op < kOpCount; ++op) {
-      result.ops[op].submitted += tallies[c][op].submitted;
-      result.ops[op].answered += tallies[c][op].answered;
-      result.ops[op].shed += tallies[c][op].shed;
-      result.ops[op].latencies.insert(result.ops[op].latencies.end(),
-                                      tallies[c][op].latencies.begin(),
-                                      tallies[c][op].latencies.end());
+      result.ops[op].merge(tallies[c][op]);
     }
   }
   return result;
-}
-
-double pct_ms(const std::vector<double>& xs, double p) {
-  if (xs.empty()) return 0.0;
-  return util::percentile(xs, p) * 1e3;
 }
 
 void write_json(const char* path, const Preset& preset, std::size_t scale,

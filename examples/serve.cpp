@@ -1,0 +1,168 @@
+// serve — a standalone fairDMS serving process speaking the binary wire
+// protocol (src/net/wire.hpp) over TCP.
+//
+// Builds the standard demo world (drifting HEDM timeline, trained fairDS,
+// seeded ModelZoo), then runs net::Server over a DataService until SIGTERM
+// / SIGINT (or --duration elapses) and exits 0 after a graceful drain —
+// in-flight requests complete, buffered responses flush, then sockets
+// close. bench/net_workload.cpp --connect drives this binary from separate
+// client processes; CI runs exactly that pair.
+//
+// Build & run:  ./build/examples/serve --port 7641
+//               ./build/bench/net_workload --preset small --connect 7641
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datagen/bragg.hpp"
+#include "fairds/fairds.hpp"
+#include "fairms/zoo.hpp"
+#include "net/server.hpp"
+#include "service/data_service.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fairdms;
+
+  std::uint16_t port = 0;  // ephemeral by default; printed once bound
+  std::size_t workers = 4;
+  std::size_t max_pending = 64;
+  std::size_t history_samples = 256;
+  double duration_seconds = 0.0;  // 0 => run until SIGTERM/SIGINT
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      workers = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--max-pending") == 0 && i + 1 < argc) {
+      max_pending = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--history") == 0 && i + 1 < argc) {
+      history_samples = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--duration") == 0 && i + 1 < argc) {
+      duration_seconds = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: serve [--port N] [--workers N] [--max-pending N] "
+                   "[--history N] [--duration SECONDS]\n");
+      return 2;
+    }
+  }
+
+  // The standard drifting HEDM world the benches use (deformation at scan
+  // 7), trained before the socket opens so clients never race training.
+  datagen::HedmTimelineConfig timeline_config;
+  timeline_config.n_scans = 12;
+  timeline_config.drift_per_scan = 0.004;
+  timeline_config.deformation_scans = {7};
+  timeline_config.deformation_jump = 0.5;
+  datagen::HedmTimeline timeline(timeline_config);
+  const nn::Batchset history =
+      timeline.dataset_at(/*scan=*/2, history_samples, /*seed=*/6161);
+
+  store::DocStore db;
+  fairds::FairDSConfig ds_config;
+  ds_config.embedding_dim = 12;
+  ds_config.n_clusters = 8;
+  ds_config.embed_train.epochs = 2;
+  ds_config.certainty_threshold = 0.8;
+  ds_config.store_shards = 4;
+  ds_config.seed = 6161;
+  fairds::FairDS ds(ds_config, db);
+  ds.train_system(history.xs);
+  ds.ingest(history.xs, history.ys, "history");
+
+  fairms::ModelZoo zoo(db);
+  for (std::size_t m = 0; m < 4; ++m) {
+    zoo.publish("braggnn", "seed_" + std::to_string(m),
+                ds.distribution(timeline.dataset_at(2 + m, 32, 6161 + m).xs),
+                std::vector<std::uint8_t>(4096, 0x42));
+  }
+  fairms::ModelManager manager(zoo, /*distance_threshold=*/1.0);
+
+  service::DataService service(
+      ds, {.workers = workers, .store_shards = 4, .max_pending = max_pending},
+      &manager);
+
+  // Server-side fallback labeler (code cannot travel on the wire): the
+  // centroid stand-in for the conventional pseudo-Voigt fit.
+  const std::size_t label_width = ds.snapshot()->label_width();
+  net::ServerConfig server_config;
+  server_config.port = port;
+  server_config.fallback_labeler = [label_width](const nn::Tensor& xs) {
+    const std::size_t n = xs.dim(0);
+    const std::size_t s = xs.dim(2);
+    nn::Tensor ys({n, label_width});
+    for (std::size_t i = 0; i < n; ++i) {
+      double cx = 0.0;
+      double cy = 0.0;
+      datagen::intensity_centroid({xs.data() + i * s * s, s * s}, s, cx, cy);
+      ys.at(i, 0) = static_cast<float>((cx - 7.0) / 15.0);
+      if (label_width > 1) {
+        ys.at(i, 1) = static_cast<float>((cy - 7.0) / 15.0);
+      }
+    }
+    return ys;
+  };
+
+  net::Server server(service, server_config);
+  if (!server.ok()) {
+    std::fprintf(stderr, "serve: cannot listen on port %u\n",
+                 static_cast<unsigned>(port));
+    return 1;
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  // Parsed by scripts (and humans): the bound port, then a READY marker.
+  std::printf("serve: listening on 127.0.0.1:%u (workers %zu, max_pending "
+              "%zu, model v%llu)\n",
+              static_cast<unsigned>(server.port()), workers, max_pending,
+              static_cast<unsigned long long>(ds.snapshot()->version()));
+  std::printf("READY\n");
+  std::fflush(stdout);
+
+  const auto started = std::chrono::steady_clock::now();
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (duration_seconds > 0.0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+                .count() >= duration_seconds) {
+      break;
+    }
+  }
+
+  std::printf("serve: draining...\n");
+  server.stop();
+  service.wait_idle();
+
+  const auto counters = server.counters();
+  const auto stats = service.stats();
+  std::printf(
+      "serve: done. connections %llu, frames in %llu / out %llu, malformed "
+      "%llu, shed %llu, shutdown %llu; served %llu label / %llu lookup / "
+      "%llu recommend, retrains %llu\n",
+      static_cast<unsigned long long>(counters.accepted_connections),
+      static_cast<unsigned long long>(counters.frames_in),
+      static_cast<unsigned long long>(counters.frames_out),
+      static_cast<unsigned long long>(counters.malformed_frames),
+      static_cast<unsigned long long>(counters.shed_responses),
+      static_cast<unsigned long long>(counters.shutdown_responses),
+      static_cast<unsigned long long>(stats.label_requests),
+      static_cast<unsigned long long>(stats.lookup_requests),
+      static_cast<unsigned long long>(stats.recommend_requests),
+      static_cast<unsigned long long>(stats.retrains));
+  return 0;
+}

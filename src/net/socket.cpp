@@ -1,0 +1,117 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace fairdms::net {
+
+namespace {
+
+bool fill_addr(const std::string& host, std::uint16_t port,
+               sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  return inet_pton(AF_INET, host.c_str(), &addr->sin_addr) == 1;
+}
+
+}  // namespace
+
+void UniqueFd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+int create_listener(const std::string& bind_address, std::uint16_t port,
+                    int backlog) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return -1;
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  if (!fill_addr(bind_address, port, &addr)) return -1;
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return -1;
+  }
+  if (::listen(fd.get(), backlog) != 0) return -1;
+  return fd.release();
+}
+
+std::uint16_t local_port(int fd) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return 0;
+  }
+  return ntohs(addr.sin_port);
+}
+
+int connect_to(const std::string& host, std::uint16_t port) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return -1;
+  sockaddr_in addr;
+  if (!fill_addr(host, port, &addr)) return -1;
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    return -1;
+  }
+  // Request/response frames are small and latency-bound; never Nagle-delay
+  // a response tail.
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd.release();
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
+  // send(MSG_NOSIGNAL) suppresses SIGPIPE per-call on sockets, but fails
+  // ENOTSOCK on pipes — the load generator funnels its fork-coordination
+  // pipes through here too, so fall back to plain write() for those
+  // (pipe writers must handle SIGPIPE themselves).
+  bool is_socket = true;
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t rc =
+        is_socket ? ::send(fd, data + sent, n - sent, MSG_NOSIGNAL)
+                  : ::write(fd, data + sent, n - sent);
+    if (rc > 0) {
+      sent += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc < 0 && errno == ENOTSOCK && is_socket) {
+      is_socket = false;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+bool read_exact(int fd, std::uint8_t* data, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t rc = ::read(fd, data + got, n - got);
+    if (rc > 0) {
+      got += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    return false;  // EOF or hard error
+  }
+  return true;
+}
+
+}  // namespace fairdms::net

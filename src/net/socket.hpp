@@ -1,0 +1,68 @@
+// Thin POSIX TCP helpers shared by net::Server and net::Client (Linux;
+// IPv4 loopback-class deployments — the beamline serving tier the paper
+// describes sits on one cluster fabric, not the open internet).
+//
+// Everything here is error-code based: helpers return false / -1 instead of
+// aborting, because socket failures are environmental, not invariants.
+// SIGPIPE is avoided per-call with MSG_NOSIGNAL, so library users never
+// need a process-wide signal disposition.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace fairdms::net {
+
+/// RAII file descriptor (close on destruction; move-only).
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { reset(); }
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Bound + listening IPv4 socket (SO_REUSEADDR). `port == 0` picks an
+/// ephemeral port — read it back with local_port(). Returns -1 on failure.
+[[nodiscard]] int create_listener(const std::string& bind_address,
+                                  std::uint16_t port, int backlog = 64);
+
+/// The locally bound port of a socket (0 on failure).
+[[nodiscard]] std::uint16_t local_port(int fd);
+
+/// Blocking IPv4 connect. Returns -1 on failure.
+[[nodiscard]] int connect_to(const std::string& host, std::uint16_t port);
+
+/// Marks a descriptor non-blocking. Returns false on failure.
+bool set_nonblocking(int fd);
+
+/// Blocking full-buffer write (retries EINTR / partial writes,
+/// MSG_NOSIGNAL). False when the peer is gone.
+bool write_all(int fd, const std::uint8_t* data, std::size_t n);
+
+/// Blocking full-buffer read. False on EOF or error before `n` bytes.
+bool read_exact(int fd, std::uint8_t* data, std::size_t n);
+
+}  // namespace fairdms::net

@@ -100,6 +100,15 @@ class DataService {
   [[nodiscard]] ServiceStats stats() const;
   [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
 
+  /// The snapshot queries currently serve against (nullptr before the first
+  /// train). The wire front-end validates untrusted batch shapes against it
+  /// before a request can reach an invariant-checked service path.
+  [[nodiscard]] std::shared_ptr<const fairds::Snapshot> snapshot() const {
+    return ds_->snapshot();
+  }
+  /// Whether RecommendRequest is servable (a ModelManager was attached).
+  [[nodiscard]] bool has_model_manager() const { return manager_ != nullptr; }
+
  private:
   void record_request(double seconds) EXCLUDES(stats_mutex_);
   /// Samples the pending-queue depth right after an admission and folds it

@@ -22,7 +22,7 @@ namespace fairdms::service {
 
 using tensor::Tensor;
 
-/// Admission outcome of a submitted request. Every response carries one:
+/// Serving outcome of a submitted request. Every response carries one:
 /// kOk means the request executed against a snapshot; kShedOverload means
 /// the service's bounded pending queue was full at submission time and the
 /// request was rejected *without* executing — its future is ready
@@ -30,13 +30,33 @@ using tensor::Tensor;
 /// expected to back off and retry. Shedding is the load policy (paper's
 /// beamline bursts + retrain storms): a saturated service answers "not
 /// now" in O(1) instead of growing an unbounded future backlog.
+///
+/// The remaining statuses are produced by the wire front-end (src/net/),
+/// which answers over the same response DTOs: kMalformedRequest means the
+/// request frame could not be decoded (the request never reached the
+/// service), kShuttingDown means the server is draining and no longer
+/// admits user-plane work (in-flight requests still complete and are
+/// flushed before the socket closes). Both carry default payloads; neither
+/// is ever produced by the in-process submit() path.
 enum class ServeStatus : std::uint8_t {
   kOk = 0,
   kShedOverload = 1,
+  kMalformedRequest = 2,
+  kShuttingDown = 3,
 };
 
 [[nodiscard]] constexpr const char* to_string(ServeStatus status) {
-  return status == ServeStatus::kOk ? "ok" : "shed_overload";
+  switch (status) {
+    case ServeStatus::kOk:
+      return "ok";
+    case ServeStatus::kShedOverload:
+      return "shed_overload";
+    case ServeStatus::kMalformedRequest:
+      return "malformed_request";
+    case ServeStatus::kShuttingDown:
+      return "shutting_down";
+  }
+  return "unknown";
 }
 
 /// Per-sample label acquisition (the Fig. 9 reuse workload): reuse stored
