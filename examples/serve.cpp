@@ -40,6 +40,8 @@ int main(int argc, char** argv) {
   std::size_t max_pending = 64;
   std::size_t history_samples = 256;
   double duration_seconds = 0.0;  // 0 => run until SIGTERM/SIGINT
+  std::string engine = "mem";
+  std::string data_dir;  // required for --engine log
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
       port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
@@ -51,12 +53,27 @@ int main(int argc, char** argv) {
       history_samples = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--duration") == 0 && i + 1 < argc) {
       duration_seconds = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
+      engine = argv[++i];
+    } else if (std::strcmp(argv[i], "--data-dir") == 0 && i + 1 < argc) {
+      data_dir = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: serve [--port N] [--workers N] [--max-pending N] "
-                   "[--history N] [--duration SECONDS]\n");
+                   "[--history N] [--duration SECONDS] [--engine mem|log] "
+                   "[--data-dir DIR]\n");
       return 2;
     }
+  }
+  const auto engine_kind = store::parse_engine_kind(engine);
+  if (!engine_kind.has_value()) {
+    std::fprintf(stderr, "serve: unknown --engine '%s' (mem|log)\n",
+                 engine.c_str());
+    return 2;
+  }
+  if (*engine_kind == store::EngineKind::kLog && data_dir.empty()) {
+    std::fprintf(stderr, "serve: --engine log requires --data-dir\n");
+    return 2;
   }
 
   // The standard drifting HEDM world the benches use (deformation at scan
@@ -70,7 +87,10 @@ int main(int argc, char** argv) {
   const nn::Batchset history =
       timeline.dataset_at(/*scan=*/2, history_samples, /*seed=*/6161);
 
-  store::DocStore db;
+  store::DocStoreConfig db_config;
+  db_config.engine.kind = *engine_kind;
+  db_config.engine.directory = data_dir;  // store root; "<dir>/<collection>"
+  store::DocStore db(db_config);
   fairds::FairDSConfig ds_config;
   ds_config.embedding_dim = 12;
   ds_config.n_clusters = 8;
@@ -90,9 +110,12 @@ int main(int argc, char** argv) {
   }
   fairms::ModelManager manager(zoo, /*distance_threshold=*/1.0);
 
-  service::DataService service(
-      ds, {.workers = workers, .store_shards = 4, .max_pending = max_pending},
-      &manager);
+  service::DataService service(ds,
+                               {.workers = workers,
+                                .store_shards = 4,
+                                .storage_engine = engine,
+                                .max_pending = max_pending},
+                               &manager);
 
   // Server-side fallback labeler (code cannot travel on the wire): the
   // centroid stand-in for the conventional pseudo-Voigt fit.
@@ -127,8 +150,9 @@ int main(int argc, char** argv) {
 
   // Parsed by scripts (and humans): the bound port, then a READY marker.
   std::printf("serve: listening on 127.0.0.1:%u (workers %zu, max_pending "
-              "%zu, model v%llu)\n",
+              "%zu, engine %s, model v%llu)\n",
               static_cast<unsigned>(server.port()), workers, max_pending,
+              ds.storage_engine(),
               static_cast<unsigned long long>(ds.snapshot()->version()));
   std::printf("READY\n");
   std::fflush(stdout);

@@ -16,7 +16,9 @@ namespace fairdms::fairds {
 FairDS::FairDS(FairDSConfig config, store::DocStore& db)
     : config_(std::move(config)),
       db_(&db),
-      samples_(&db.collection(config_.collection, config_.store_shards)) {
+      samples_(&db.collection(
+          config_.collection, config_.store_shards,
+          config_.storage.has_value() ? &*config_.storage : nullptr)) {
   samples_->create_index("cluster");
   samples_->create_index("dataset_id");
 }
@@ -270,6 +272,8 @@ const ReuseIndex& FairDS::reuse_index() const {
 std::size_t FairDS::stored_count() const { return samples_->size(); }
 
 std::size_t FairDS::store_shards() const { return samples_->shard_count(); }
+
+const char* FairDS::storage_engine() const { return samples_->engine_name(); }
 
 std::size_t FairDS::n_clusters() const {
   auto snap = snapshot_.load();

@@ -65,6 +65,11 @@ struct FairDSConfig {
   /// store reads proceed in parallel (detector-rate streaming); 1 keeps
   /// the single-lock store. Ignored when the collection already exists.
   std::size_t store_shards = 0;
+  /// Storage engine for the sample collection; nullopt => the DocStore's
+  /// configured engine (with the store root directory + collection name).
+  /// When set, `storage->directory` is used verbatim as the collection's
+  /// data directory. Ignored when the collection already exists.
+  std::optional<store::StorageEngineConfig> storage;
 };
 
 /// Outcome of the per-sample reuse path (Fig. 9).
@@ -142,6 +147,8 @@ class FairDS {
   [[nodiscard]] std::size_t stored_count() const;
   /// Shard count of the backing sample collection.
   [[nodiscard]] std::size_t store_shards() const;
+  /// Storage engine of the backing sample collection ("mem" | "log").
+  [[nodiscard]] const char* storage_engine() const;
   [[nodiscard]] std::size_t n_clusters() const;
   [[nodiscard]] std::size_t retrain_count() const {
     return retrains_.load(std::memory_order_relaxed);

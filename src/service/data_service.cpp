@@ -42,6 +42,11 @@ DataService::DataService(fairds::FairDS& ds, DataServiceConfig config,
                     config_.store_shards == ds.store_shards(),
                 "DataService: configured store_shards ", config_.store_shards,
                 " != sample collection's ", ds.store_shards());
+  FAIRDMS_CHECK(config_.storage_engine.empty() ||
+                    config_.storage_engine == ds.storage_engine(),
+                "DataService: configured storage_engine '",
+                config_.storage_engine, "' != sample collection's '",
+                ds.storage_engine(), "'");
   FAIRDMS_CHECK(config_.model_cache_bytes == 0 || manager_ != nullptr,
                 "DataService: model_cache_bytes configured without a "
                 "ModelManager to apply it to");

@@ -51,6 +51,12 @@ struct DataServiceConfig {
   /// actual collection, failing loudly when a deployment assumed ingest
   /// parallelism the store was not built with.
   std::size_t store_shards = 0;
+  /// Declared storage engine of the data tier's sample collection ("mem" |
+  /// "log"); empty => don't care. Like store_shards, a non-empty value is
+  /// checked against the FairDS's actual collection at construction,
+  /// failing loudly when a deployment assumed durability the store was not
+  /// built with.
+  std::string storage_engine = "";
   /// Re-budgets the model plane's parameter-blob/PDF cache at construction
   /// (requires a ModelManager). 0 => leave the zoo's budget as configured.
   /// Cache hit/miss/eviction counters surface through ServiceStats either

@@ -15,16 +15,38 @@ namespace {
 /// round trip.
 constexpr std::size_t kShardFanoutMinItems = 512;
 
+/// Wire bytes of an update's field set: 8 + name + encoded value per field.
+/// Computed by the collection (not the engine) so the charge is identical
+/// whether or not the document exists — the values travel either way.
+std::size_t fields_value_bytes(const Object& fields) {
+  std::size_t value_bytes = 0;
+  for (const auto& [field, value] : fields) {
+    value_bytes += 8 + field.size() + value.encoded_size();
+  }
+  return value_bytes;
+}
+
 }  // namespace
 
 Collection::Collection(std::string name, const RemoteLink* link,
-                       std::size_t shards)
-    : name_(std::move(name)), link_(link) {
+                       std::size_t shards, const StorageEngineConfig& engine)
+    : name_(std::move(name)), link_(link), engine_kind_(engine.kind) {
   FAIRDMS_CHECK(shards >= 1, "collection '", name_,
                 "': shard count must be >= 1, got ", shards);
+  auto engines = make_shard_engines(engine, name_, shards);
   shards_.reserve(shards);
+  DocId max_recovered = 0;
   for (std::size_t s = 0; s < shards; ++s) {
     shards_.push_back(std::make_unique<Shard>());
+    Shard& shard = *shards_.back();
+    util::MutexLock lock(shard.mutex);
+    shard.engine = std::move(engines[s]);
+    // A durable engine may come up populated (segment replay); resume id
+    // allocation past everything it recovered.
+    max_recovered = std::max(max_recovered, shard.engine->max_id());
+  }
+  if (max_recovered != 0) {
+    next_id_.store(max_recovered + 1, std::memory_order_relaxed);
   }
   if ((shards & (shards - 1)) == 0) shard_mask_ = shards - 1;
 }
@@ -54,9 +76,7 @@ DocId Collection::insert_one(Value doc) {
   Shard& shard = shard_of(id);
   {
     util::MutexLock lock(shard.mutex);
-    shard.payload_bytes += bytes;
-    index_insert_locked(shard, id, doc);
-    shard.docs.emplace(id, StoredDoc{std::move(doc), bytes});
+    shard.engine->insert(id, std::move(doc), bytes);
   }
   charge(bytes + 64);  // request envelope
   return id;
@@ -87,9 +107,7 @@ std::vector<DocId> Collection::insert_many(std::vector<Value> docs) {
     Shard& shard = *shards_[s];
     util::MutexLock lock(shard.mutex);
     for (const std::size_t i : per_shard[s]) {
-      shard.payload_bytes += sizes[i];
-      index_insert_locked(shard, ids[i], docs[i]);
-      shard.docs.emplace(ids[i], StoredDoc{std::move(docs[i]), sizes[i]});
+      shard.engine->insert(ids[i], std::move(docs[i]), sizes[i]);
     }
   });
   charge(total_bytes + 64);  // one batched round trip
@@ -102,11 +120,7 @@ std::optional<Value> Collection::find_by_id(DocId id) const {
   Shard& shard = shard_of(id);
   {
     util::ReaderLock lock(shard.mutex);
-    auto it = shard.docs.find(id);
-    if (it != shard.docs.end()) {
-      out = it->second.doc;
-      bytes += it->second.bytes;
-    }
+    out = shard.engine->fetch(id, {}, bytes);
   }
   charge(bytes);
   return out;
@@ -126,22 +140,7 @@ std::vector<std::optional<Value>> Collection::find_many(
     std::size_t bytes = 0;
     util::ReaderLock lock(shard.mutex);
     for (const std::size_t i : per_shard[s]) {
-      auto it = shard.docs.find(ids[i]);
-      if (it == shard.docs.end()) continue;
-      if (fields.empty()) {
-        out[i] = it->second.doc;
-        bytes += it->second.bytes;
-        continue;
-      }
-      Object projected;
-      const Object& src = it->second.doc.as_object();
-      for (const std::string& field : fields) {
-        auto fit = src.find(field);
-        if (fit == src.end()) continue;
-        bytes += 8 + field.size() + fit->second.encoded_size();
-        projected.emplace(field, fit->second);
-      }
-      out[i] = Value(std::move(projected));
+      out[i] = shard.engine->fetch(ids[i], fields, bytes);
     }
     shard_bytes[s] = bytes;
   });
@@ -153,51 +152,18 @@ std::vector<std::optional<Value>> Collection::find_many(
 
 bool Collection::replace_one(DocId id, Value doc) {
   FAIRDMS_CHECK(doc.is_object(), "replace_one: document must be an object");
+  doc.as_object()["_id"] = Value(static_cast<std::int64_t>(id));
   std::size_t bytes = 64;
   bool found = false;
   Shard& shard = shard_of(id);
   {
     util::MutexLock lock(shard.mutex);
-    auto it = shard.docs.find(id);
-    if (it != shard.docs.end()) {
-      index_remove_locked(shard, id, it->second.doc);
-      shard.payload_bytes -= it->second.bytes;
-      doc.as_object()["_id"] = Value(static_cast<std::int64_t>(id));
-      const std::size_t new_bytes = doc_bytes(doc);
-      bytes += new_bytes;
-      shard.payload_bytes += new_bytes;
-      index_insert_locked(shard, id, doc);
-      it->second = StoredDoc{std::move(doc), new_bytes};
-      found = true;
-    }
+    std::size_t stored_bytes = 0;
+    found = shard.engine->replace(id, std::move(doc), stored_bytes);
+    if (found) bytes += stored_bytes;
   }
   charge(bytes);
   return found;
-}
-
-std::size_t Collection::update_fields_locked(Shard& shard, DocId id,
-                                             Object&& fields, bool& found) {
-  std::size_t value_bytes = 0;
-  for (const auto& [field, value] : fields) {
-    value_bytes += 8 + field.size() + value.encoded_size();
-  }
-  auto it = shard.docs.find(id);
-  if (it == shard.docs.end()) {
-    found = false;
-    return value_bytes;
-  }
-  index_remove_locked(shard, id, it->second.doc);
-  Object& obj = it->second.doc.as_object();
-  for (auto& [field, value] : fields) {
-    obj[field] = std::move(value);
-  }
-  const std::size_t new_bytes = doc_bytes(it->second.doc);
-  shard.payload_bytes += new_bytes;
-  shard.payload_bytes -= it->second.bytes;
-  it->second.bytes = new_bytes;
-  index_insert_locked(shard, id, it->second.doc);
-  found = true;
-  return value_bytes;
 }
 
 bool Collection::update_field(DocId id, const std::string& field,
@@ -208,12 +174,12 @@ bool Collection::update_field(DocId id, const std::string& field,
 }
 
 bool Collection::update_fields(DocId id, Object fields) {
+  const std::size_t value_bytes = fields_value_bytes(fields);
   bool found = false;
-  std::size_t value_bytes = 0;
   Shard& shard = shard_of(id);
   {
     util::MutexLock lock(shard.mutex);
-    value_bytes = update_fields_locked(shard, id, std::move(fields), found);
+    found = shard.engine->update(id, std::move(fields));
   }
   charge(64 + value_bytes);
   return found;
@@ -234,10 +200,11 @@ std::size_t Collection::update_many(
     Shard& shard = *shards_[s];
     util::MutexLock lock(shard.mutex);
     for (const std::size_t i : per_shard[s]) {
-      bool found = false;
-      shard_bytes[s] += update_fields_locked(
-          shard, updates[i].first, std::move(updates[i].second), found);
-      if (found) ++shard_updated[s];
+      shard_bytes[s] += fields_value_bytes(updates[i].second);
+      if (shard.engine->update(updates[i].first,
+                               std::move(updates[i].second))) {
+        ++shard_updated[s];
+      }
     }
   });
   std::size_t updated = 0;
@@ -255,13 +222,7 @@ bool Collection::remove_one(DocId id) {
   Shard& shard = shard_of(id);
   {
     util::MutexLock lock(shard.mutex);
-    auto it = shard.docs.find(id);
-    if (it != shard.docs.end()) {
-      index_remove_locked(shard, id, it->second.doc);
-      shard.payload_bytes -= it->second.bytes;
-      shard.docs.erase(it);
-      found = true;
-    }
+    found = shard.engine->erase(id);
   }
   charge(64);
   return found;
@@ -271,13 +232,7 @@ void Collection::create_index(const std::string& field) {
   for (const auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
     util::MutexLock lock(shard.mutex);
-    if (shard.indexes.count(field) > 0) continue;
-    auto& index = shard.indexes[field];
-    for (const auto& [id, stored] : shard.docs) {
-      if (stored.doc.contains(field)) {
-        index[stored.doc.at(field)].push_back(id);
-      }
-    }
+    shard.engine->create_index(field);
   }
 }
 
@@ -286,7 +241,7 @@ bool Collection::has_index(const std::string& field) const {
   // shard 0 is authoritative.
   const Shard& shard = *shards_[0];
   util::ReaderLock lock(shard.mutex);
-  return shard.indexes.count(field) > 0;
+  return shard.engine->has_index(field);
 }
 
 std::vector<DocId> Collection::find_eq(const std::string& field,
@@ -295,19 +250,7 @@ std::vector<DocId> Collection::find_eq(const std::string& field,
   for (const auto& shard_ptr : shards_) {
     const Shard& shard = *shard_ptr;
     util::ReaderLock lock(shard.mutex);
-    auto idx = shard.indexes.find(field);
-    if (idx != shard.indexes.end()) {
-      auto it = idx->second.find(value);
-      if (it != idx->second.end()) {
-        out.insert(out.end(), it->second.begin(), it->second.end());
-      }
-    } else {
-      for (const auto& [id, stored] : shard.docs) {
-        if (stored.doc.contains(field) && stored.doc.at(field) == value) {
-          out.push_back(id);
-        }
-      }
-    }
+    shard.engine->find_eq(field, value, out);
   }
   std::sort(out.begin(), out.end());
   charge(64 + out.size() * 8);
@@ -321,19 +264,7 @@ std::vector<DocId> Collection::find_range(const std::string& field,
   for (const auto& shard_ptr : shards_) {
     const Shard& shard = *shard_ptr;
     util::ReaderLock lock(shard.mutex);
-    auto idx = shard.indexes.find(field);
-    if (idx != shard.indexes.end()) {
-      for (auto it = idx->second.lower_bound(lo);
-           it != idx->second.end() && it->first < hi; ++it) {
-        out.insert(out.end(), it->second.begin(), it->second.end());
-      }
-    } else {
-      for (const auto& [id, stored] : shard.docs) {
-        if (!stored.doc.contains(field)) continue;
-        const Value& v = stored.doc.at(field);
-        if (!(v < lo) && v < hi) out.push_back(id);
-      }
-    }
+    shard.engine->find_range(field, lo, hi, out);
   }
   std::sort(out.begin(), out.end());
   charge(64 + out.size() * 8);
@@ -345,7 +276,7 @@ void Collection::scan(
   for (const auto& shard_ptr : shards_) {
     const Shard& shard = *shard_ptr;
     util::ReaderLock lock(shard.mutex);
-    for (const auto& [id, stored] : shard.docs) fn(id, stored.doc);
+    shard.engine->scan(fn);
   }
 }
 
@@ -357,8 +288,7 @@ std::vector<DocId> Collection::all_ids() const {
   for_each_shard(total, [&](std::size_t s) {
     const Shard& shard = *shards_[s];
     util::ReaderLock lock(shard.mutex);
-    per_shard[s].reserve(shard.docs.size());
-    for (const auto& [id, _] : shard.docs) per_shard[s].push_back(id);
+    shard.engine->append_ids(per_shard[s]);
   });
   std::vector<DocId> out;
   out.reserve(total);
@@ -375,7 +305,7 @@ std::size_t Collection::size() const {
   for (const auto& shard_ptr : shards_) {
     const Shard& shard = *shard_ptr;
     util::ReaderLock lock(shard.mutex);
-    total += shard.docs.size();
+    total += shard.engine->size();
   }
   return total;
 }
@@ -385,19 +315,23 @@ std::size_t Collection::approx_bytes() const {
   for (const auto& shard_ptr : shards_) {
     const Shard& shard = *shard_ptr;
     util::ReaderLock lock(shard.mutex);
-    total += shard.payload_bytes;
+    total += shard.engine->payload_bytes();
   }
   return total;
+}
+
+void Collection::compact() {
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    util::MutexLock lock(shard.mutex);
+    shard.engine->compact();
+  }
 }
 
 std::vector<std::string> Collection::index_fields() const {
   const Shard& shard = *shards_[0];
   util::ReaderLock lock(shard.mutex);
-  std::vector<std::string> fields;
-  fields.reserve(shard.indexes.size());
-  for (const auto& [field, _] : shard.indexes) fields.push_back(field);
-  std::sort(fields.begin(), fields.end());
-  return fields;
+  return shard.engine->index_fields();
 }
 
 DocId Collection::next_id() const {
@@ -415,34 +349,19 @@ void Collection::restore(DocId next_id,
     const std::size_t bytes = doc_bytes(doc);
     Shard& shard = shard_of(id);
     util::MutexLock lock(shard.mutex);
-    shard.payload_bytes += bytes;
-    index_insert_locked(shard, id, doc);
-    shard.docs.emplace(id, StoredDoc{std::move(doc), bytes});
+    shard.engine->insert(id, std::move(doc), bytes);
   }
 }
 
-void Collection::index_insert_locked(Shard& shard, DocId id,
-                                     const Value& doc) {
-  for (auto& [field, index] : shard.indexes) {
-    if (doc.contains(field)) index[doc.at(field)].push_back(id);
-  }
-}
-
-void Collection::index_remove_locked(Shard& shard, DocId id,
-                                     const Value& doc) {
-  for (auto& [field, index] : shard.indexes) {
-    if (!doc.contains(field)) continue;
-    auto it = index.find(doc.at(field));
-    if (it == index.end()) continue;
-    auto& ids = it->second;
-    ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
-    if (ids.empty()) index.erase(it);
-  }
-}
-
-Collection& DocStore::collection(const std::string& name,
-                                 std::size_t shards) {
+Collection& DocStore::collection(const std::string& name, std::size_t shards,
+                                 const StorageEngineConfig* engine) {
   const std::size_t want = shards == 0 ? default_shards_ : shards;
+  StorageEngineConfig want_engine =
+      engine != nullptr ? *engine : engine_config_;
+  if (engine == nullptr && want_engine.kind == EngineKind::kLog) {
+    // The store-level directory is a root shared by every collection.
+    want_engine.directory += "/" + name;
+  }
   {
     util::ReaderLock lock(mutex_);
     auto it = collections_.find(name);
@@ -452,6 +371,12 @@ Collection& DocStore::collection(const std::string& name,
                        it->second->shard_count(), " shard(s); requested ",
                        want, " ignored (live resharding unsupported)");
       }
+      if (engine != nullptr && it->second->engine_kind() != engine->kind) {
+        util::log_info("collection '", name, "' already exists with the '",
+                       it->second->engine_name(), "' engine; requested '",
+                       to_string(engine->kind),
+                       "' ignored (live engine swaps unsupported)");
+      }
       return *it->second;
     }
   }
@@ -459,7 +384,7 @@ Collection& DocStore::collection(const std::string& name,
   auto& slot = collections_[name];
   if (!slot) {
     slot = std::make_unique<Collection>(name, is_remote() ? &link_ : nullptr,
-                                        want);
+                                        want, want_engine);
   }
   return *slot;
 }

@@ -8,15 +8,21 @@
 // modeling the remotely hosted deployment of the paper's evaluation.
 //
 // Sharding: a collection is partitioned into N hash-sharded sub-stores
-// (DocId -> shard by `id % N`), each with its own shared_mutex, document
-// map, secondary indexes, and byte accounting, so concurrent writes to
-// different shards proceed in parallel instead of queueing on one writer
-// lock (the detector-rate ingest path). Batched operations fan out
-// per-shard — on the global util::ThreadPool above a size threshold — and
-// merge results deterministically. N = 1 (the default) is byte-for-byte
-// the previous single-lock collection.
+// (DocId -> shard by `id % N`), each with its own shared_mutex and its own
+// storage engine holding the document map, secondary indexes, and byte
+// accounting, so concurrent writes to different shards proceed in parallel
+// instead of queueing on one writer lock (the detector-rate ingest path).
+// Batched operations fan out per-shard — on the global util::ThreadPool
+// above a size threshold — and merge results deterministically. N = 1 (the
+// default) is byte-for-byte the previous single-lock collection.
 //
-// Semantics that hold for every shard count:
+// Storage engines (storage_engine.hpp): what lives under each shard lock is
+// pluggable — MemEngine (the seed's in-memory behavior, the default) or
+// LogEngine (a memory-mapped append-only log; durable, crash-recovering).
+// Sharding, locking, id allocation, charge accounting, and persistence
+// snapshots compose with any engine unchanged.
+//
+// Semantics that hold for every shard count and every engine:
 //  * find_eq / find_range / all_ids return ids in ascending order,
 //    regardless of insert/update history.
 //  * find_many: out[i] answers ids[i]; duplicate ids are each resolved and
@@ -25,8 +31,8 @@
 //  * update_fields / update_many on a missing id return false / don't count
 //    it, but still charge the encoded value bytes — the values travel to
 //    the server whether or not the document exists.
-//  * RemoteLink charges are shard-count independent: one request envelope
-//    per logical operation, value bytes summed across shards.
+//  * RemoteLink charges are shard-count and engine independent: one request
+//    envelope per logical operation, value bytes summed across shards.
 //  * Operations touching multiple shards (find_many, all_ids, scan, size,
 //    approx_bytes, ...) are not atomic across shards under concurrent
 //    writers: each shard is observed at its own lock acquisition. Any
@@ -42,28 +48,36 @@
 #include <optional>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "store/document.hpp"
 #include "store/remote_link.hpp"
+#include "store/storage_engine.hpp"
 #include "util/annotations.hpp"
 #include "util/mutex.hpp"
 
 namespace fairdms::store {
 
-using DocId = std::uint64_t;
-
 class Collection {
  public:
   /// `shards` >= 1; 1 keeps the single-lock behavior, higher counts enable
   /// parallel ingest at the cost of per-shard index fragmentation.
+  /// `engine` selects the per-shard storage engine; for LogEngine,
+  /// `engine.directory` is this collection's data directory and an
+  /// existing directory is replayed (the collection comes up populated,
+  /// with the id counter resumed past everything recovered).
   explicit Collection(std::string name, const RemoteLink* link = nullptr,
-                      std::size_t shards = 1);
+                      std::size_t shards = 1,
+                      const StorageEngineConfig& engine = {});
 
   [[nodiscard]] const std::string& collection_name() const { return name_; }
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] EngineKind engine_kind() const { return engine_kind_; }
+  /// "mem" | "log" — the storage engine behind every shard.
+  [[nodiscard]] const char* engine_name() const {
+    return to_string(engine_kind_);
+  }
 
   /// Inserts a document (object Value), returns its _id. The `_id` field is
   /// added/overwritten on the stored copy. Ids are allocated from one
@@ -109,7 +123,9 @@ class Collection {
 
   /// Secondary index on a scalar field. Indexes are maintained on every
   /// subsequent insert/update; existing documents are indexed on creation.
-  /// Each shard indexes its own documents.
+  /// Each shard indexes its own documents. Indexes live in memory for
+  /// every engine — a reopened durable collection starts index-less and
+  /// callers re-create the indexes they need (as persist::load does).
   void create_index(const std::string& field);
   [[nodiscard]] bool has_index(const std::string& field) const;
 
@@ -133,9 +149,15 @@ class Collection {
 
   [[nodiscard]] std::size_t size() const;
 
-  /// Approximate resident bytes (document payloads only, summed over
-  /// shards).
+  /// Approximate resident bytes (live document payloads only, summed over
+  /// shards; identical across engines).
   [[nodiscard]] std::size_t approx_bytes() const;
+
+  /// Asks every shard's engine to reclaim space held by superseded or
+  /// tombstoned records (LogEngine segment rotation); a no-op for
+  /// MemEngine. Takes each shard's exclusive lock in turn, so it is safe
+  /// (but fuzzy) under concurrent traffic.
+  void compact();
 
   /// Fields with secondary indexes (snapshot support).
   [[nodiscard]] std::vector<std::string> index_fields() const;
@@ -144,29 +166,22 @@ class Collection {
   [[nodiscard]] DocId next_id() const;
   /// Restores a snapshot into an *empty* collection: sets the id counter,
   /// inserts documents under their original ids, rebuilds all indexes.
-  /// The on-disk format is shard-count agnostic: a snapshot written by an
-  /// N-shard collection loads into an M-shard one.
+  /// The on-disk format is shard-count and engine agnostic: a snapshot
+  /// written by an N-shard collection loads into an M-shard one, and a
+  /// snapshot of a MemEngine store loads into a LogEngine store.
   void restore(DocId next_id,
                std::vector<std::pair<DocId, Value>> documents);
 
  private:
-  /// A stored document plus its cached encoded size, so every read charges
-  /// real bytes without re-serializing the (often multi-KB) payload.
-  struct StoredDoc {
-    Value doc;
-    std::size_t bytes = 0;
-  };
-
-  /// One hash shard: an independent single-lock sub-store. Heap-allocated
-  /// (shared_mutex is immovable) and never resized after construction, so
-  /// shard lookup itself is lock-free.
+  /// One hash shard: a shared_mutex guarding an independent storage-engine
+  /// instance. Heap-allocated (shared_mutex is immovable) and never
+  /// resized after construction, so shard lookup itself is lock-free. The
+  /// engine pointer is set once in the constructor; all engine calls
+  /// happen with `mutex` held (exclusive for mutations, shared for
+  /// reads), per the StorageEngine contract.
   struct Shard {
     mutable util::SharedMutex mutex{util::LockRank::kStoreShard};
-    std::unordered_map<DocId, StoredDoc> docs GUARDED_BY(mutex);
-    std::size_t payload_bytes GUARDED_BY(mutex) = 0;
-    /// field -> (value -> ids); std::map keys give ordered range scans.
-    std::unordered_map<std::string, std::map<Value, std::vector<DocId>>>
-        indexes GUARDED_BY(mutex);
+    std::unique_ptr<StorageEngine> engine GUARDED_BY(mutex);
   };
 
   [[nodiscard]] std::size_t shard_index(DocId id) const {
@@ -186,18 +201,6 @@ class Collection {
   void for_each_shard(std::size_t items,
                       const std::function<void(std::size_t)>& body) const;
 
-  static void index_insert_locked(Shard& shard, DocId id, const Value& doc)
-      REQUIRES(shard.mutex);
-  static void index_remove_locked(Shard& shard, DocId id, const Value& doc)
-      REQUIRES(shard.mutex);
-  /// Applies `fields` to an existing document under the shard's exclusive
-  /// lock, maintaining indexes, the cached size, and payload_bytes.
-  /// Returns the encoded request-payload bytes to charge — the values
-  /// travel to the server whether or not the document exists, so absent
-  /// ids charge too.
-  static std::size_t update_fields_locked(Shard& shard, DocId id,
-                                          Object&& fields, bool& found)
-      REQUIRES(shard.mutex);
   void charge(std::size_t bytes) const {
     if (link_ != nullptr) link_->charge(bytes);
   }
@@ -205,17 +208,21 @@ class Collection {
 
   std::string name_;
   const RemoteLink* link_;
+  EngineKind engine_kind_;
   std::atomic<DocId> next_id_{1};
   std::vector<std::unique_ptr<Shard>> shards_;
   DocId shard_mask_ = 0;  ///< shards-1 when the count is a power of two
 };
 
-/// DocStore construction knobs: the remote-link model plus the default
-/// shard count applied to collections created without an explicit count.
+/// DocStore construction knobs: the remote-link model, the default shard
+/// count applied to collections created without an explicit count, and the
+/// storage-engine selection applied to every collection (engine.directory
+/// is the store root; each collection gets `<root>/<name>`).
 struct DocStoreConfig {
   RemoteLinkConfig link{.latency_seconds = 0.0,
                         .bandwidth_bytes_per_s = 1e12};
   std::size_t shards = 1;
+  StorageEngineConfig engine{};
 };
 
 /// A named set of collections, sharing one remote-link model.
@@ -224,16 +231,24 @@ class DocStore {
   DocStore() = default;
   explicit DocStore(RemoteLinkConfig link_config) : link_(link_config) {}
   explicit DocStore(DocStoreConfig config)
-      : link_(config.link), default_shards_(std::max<std::size_t>(1, config.shards)) {}
+      : link_(config.link),
+        default_shards_(std::max<std::size_t>(1, config.shards)),
+        engine_config_(std::move(config.engine)) {}
 
-  /// Gets or creates a collection. `shards == 0` means the store default.
-  /// The shard count only applies on creation; getting an existing
-  /// collection with a different non-zero count returns the existing one
-  /// unchanged (resharding a live collection is not supported).
-  Collection& collection(const std::string& name, std::size_t shards = 0);
+  /// Gets or creates a collection. `shards == 0` means the store default;
+  /// `engine == nullptr` means the store's configured engine (its
+  /// directory is treated as a store root and the collection name is
+  /// appended). Both only apply on creation; getting an existing
+  /// collection with different non-zero/non-null settings returns the
+  /// existing one unchanged (live resharding / engine swaps unsupported).
+  Collection& collection(const std::string& name, std::size_t shards = 0,
+                         const StorageEngineConfig* engine = nullptr);
   [[nodiscard]] bool has_collection(const std::string& name) const;
   [[nodiscard]] std::vector<std::string> collection_names() const;
   [[nodiscard]] std::size_t default_shards() const { return default_shards_; }
+  [[nodiscard]] const StorageEngineConfig& engine_config() const {
+    return engine_config_;
+  }
 
   [[nodiscard]] const RemoteLink& link() const { return link_; }
   [[nodiscard]] bool is_remote() const {
@@ -244,6 +259,7 @@ class DocStore {
   RemoteLink link_{RemoteLinkConfig{.latency_seconds = 0.0,
                                     .bandwidth_bytes_per_s = 1e12}};
   std::size_t default_shards_ = 1;
+  StorageEngineConfig engine_config_{};
   mutable util::SharedMutex mutex_{util::LockRank::kStoreMap};
   std::map<std::string, std::unique_ptr<Collection>> collections_
       GUARDED_BY(mutex_);

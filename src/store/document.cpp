@@ -109,6 +109,8 @@ int Value::compare(const Value& other) const {
     const Binary& a = as_binary();
     const Binary& b = other.as_binary();
     if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+    // Empty vectors have a null data(), which memcmp must never see (UB).
+    if (a.empty()) return 0;
     return std::memcmp(a.data(), b.data(), a.size());
   }
   if (is_array()) {
@@ -216,7 +218,9 @@ Value Value::decode(const Binary& in, std::size_t& pos) {
     }
     case Tag::kString: {
       const std::uint64_t n = get_u64(in, pos);
-      FAIRDMS_CHECK(pos + n <= in.size(), "document decode: truncated string");
+      // `n <= size - pos` rather than `pos + n <= size`: a hostile 64-bit
+      // length must not wrap the addition and slip past the bounds check.
+      FAIRDMS_CHECK(n <= in.size() - pos, "document decode: truncated string");
       std::string s(in.begin() + static_cast<std::ptrdiff_t>(pos),
                     in.begin() + static_cast<std::ptrdiff_t>(pos + n));
       pos += n;
@@ -224,7 +228,7 @@ Value Value::decode(const Binary& in, std::size_t& pos) {
     }
     case Tag::kBinary: {
       const std::uint64_t n = get_u64(in, pos);
-      FAIRDMS_CHECK(pos + n <= in.size(), "document decode: truncated binary");
+      FAIRDMS_CHECK(n <= in.size() - pos, "document decode: truncated binary");
       Binary b(in.begin() + static_cast<std::ptrdiff_t>(pos),
                in.begin() + static_cast<std::ptrdiff_t>(pos + n));
       pos += n;
@@ -233,7 +237,9 @@ Value Value::decode(const Binary& in, std::size_t& pos) {
     case Tag::kArray: {
       const std::uint64_t n = get_u64(in, pos);
       Array a;
-      a.reserve(n);
+      // Each element costs >= 1 input byte, so the remaining input bounds
+      // any honest count — don't let a hostile header force a huge alloc.
+      a.reserve(std::min<std::uint64_t>(n, in.size() - pos));
       for (std::uint64_t i = 0; i < n; ++i) a.push_back(decode(in, pos));
       return Value(std::move(a));
     }
@@ -242,7 +248,7 @@ Value Value::decode(const Binary& in, std::size_t& pos) {
       Object o;
       for (std::uint64_t i = 0; i < n; ++i) {
         const std::uint64_t klen = get_u64(in, pos);
-        FAIRDMS_CHECK(pos + klen <= in.size(),
+        FAIRDMS_CHECK(klen <= in.size() - pos,
                       "document decode: truncated key");
         std::string key(in.begin() + static_cast<std::ptrdiff_t>(pos),
                         in.begin() + static_cast<std::ptrdiff_t>(pos + klen));
@@ -260,6 +266,119 @@ Value Value::decode(const Binary& in) {
   std::size_t pos = 0;
   Value v = decode(in, pos);
   FAIRDMS_CHECK(pos == in.size(), "document decode: trailing bytes");
+  return v;
+}
+
+namespace {
+
+/// Nesting deeper than this is treated as corruption: honest documents are
+/// a handful of levels, and an adversarial byte stream of nested array
+/// headers must not recurse the stack into the ground.
+constexpr int kMaxDecodeDepth = 64;
+
+bool try_get_u64(const Binary& in, std::size_t& pos, std::uint64_t& v) {
+  if (in.size() - pos < 8) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{in[pos++]} << (8 * i);
+  return true;
+}
+
+/// Failure-returning mirror of Value::decode. Every length is checked
+/// against the *remaining* input before use (overflow-proof form), so no
+/// corrupt header can trigger an oversized allocation or an out-of-bounds
+/// read.
+bool try_decode_value(const Binary& in, std::size_t& pos, Value& out,
+                      int depth) {
+  if (depth > kMaxDecodeDepth) return false;
+  if (pos >= in.size()) return false;
+  const auto tag = static_cast<Tag>(in[pos++]);
+  switch (tag) {
+    case Tag::kNull:
+      out = Value(nullptr);
+      return true;
+    case Tag::kBool: {
+      if (pos >= in.size()) return false;
+      out = Value(in[pos++] != 0);
+      return true;
+    }
+    case Tag::kInt: {
+      std::uint64_t v = 0;
+      if (!try_get_u64(in, pos, v)) return false;
+      out = Value(static_cast<std::int64_t>(v));
+      return true;
+    }
+    case Tag::kDouble: {
+      std::uint64_t bits = 0;
+      if (!try_get_u64(in, pos, bits)) return false;
+      double d;
+      std::memcpy(&d, &bits, 8);
+      out = Value(d);
+      return true;
+    }
+    case Tag::kString: {
+      std::uint64_t n = 0;
+      if (!try_get_u64(in, pos, n)) return false;
+      if (n > in.size() - pos) return false;
+      std::string s(in.begin() + static_cast<std::ptrdiff_t>(pos),
+                    in.begin() + static_cast<std::ptrdiff_t>(pos + n));
+      pos += n;
+      out = Value(std::move(s));
+      return true;
+    }
+    case Tag::kBinary: {
+      std::uint64_t n = 0;
+      if (!try_get_u64(in, pos, n)) return false;
+      if (n > in.size() - pos) return false;
+      Binary b(in.begin() + static_cast<std::ptrdiff_t>(pos),
+               in.begin() + static_cast<std::ptrdiff_t>(pos + n));
+      pos += n;
+      out = Value(std::move(b));
+      return true;
+    }
+    case Tag::kArray: {
+      std::uint64_t n = 0;
+      if (!try_get_u64(in, pos, n)) return false;
+      if (n > in.size() - pos) return false;  // each element is >= 1 byte
+      Array a;
+      a.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        Value v;
+        if (!try_decode_value(in, pos, v, depth + 1)) return false;
+        a.push_back(std::move(v));
+      }
+      out = Value(std::move(a));
+      return true;
+    }
+    case Tag::kObject: {
+      std::uint64_t n = 0;
+      if (!try_get_u64(in, pos, n)) return false;
+      if (n > (in.size() - pos) / 9) return false;  // key len u64 + tag
+      Object o;
+      for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint64_t klen = 0;
+        if (!try_get_u64(in, pos, klen)) return false;
+        if (klen > in.size() - pos) return false;
+        std::string key(in.begin() + static_cast<std::ptrdiff_t>(pos),
+                        in.begin() + static_cast<std::ptrdiff_t>(pos + klen));
+        pos += klen;
+        Value v;
+        if (!try_decode_value(in, pos, v, depth + 1)) return false;
+        o.emplace(std::move(key), std::move(v));
+      }
+      out = Value(std::move(o));
+      return true;
+    }
+  }
+  return false;  // unknown tag
+}
+
+}  // namespace
+
+std::optional<Value> Value::try_decode(const Binary& in) {
+  std::size_t pos = 0;
+  Value v;
+  if (!try_decode_value(in, pos, v, 0)) return std::nullopt;
+  if (pos != in.size()) return std::nullopt;  // trailing bytes
   return v;
 }
 

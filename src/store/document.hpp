@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <variant>
 #include <vector>
@@ -92,6 +93,11 @@ class Value {
   [[nodiscard]] std::size_t encoded_size() const;
   static Value decode(const Binary& in, std::size_t& pos);
   static Value decode(const Binary& in);
+  /// Failure-returning decode for *untrusted* bytes (corrupt snapshots,
+  /// torn log records): nullopt instead of aborting on truncation, unknown
+  /// tags, trailing bytes, lengths exceeding the buffer, or nesting deeper
+  /// than a sanity limit. Never allocates more than the input size.
+  [[nodiscard]] static std::optional<Value> try_decode(const Binary& in);
 
   /// JSON text (binary rendered as "<N bytes>").
   [[nodiscard]] std::string to_json() const;

@@ -1,0 +1,385 @@
+#include "store/log_engine.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/fsio.hpp"
+#include "util/logging.hpp"
+
+namespace fairdms::store {
+
+namespace {
+
+constexpr std::uint32_t kSegmentMagic = 0x464C4F47;  // "FLOG"
+constexpr std::uint32_t kSegmentVersion = 1;
+constexpr std::size_t kHeaderBytes = 16;  // magic + version + shard salt
+// len(4) + kind(1) + id(8) + checksum(4)
+constexpr std::size_t kRecordOverhead = 17;
+constexpr std::size_t kPayloadOffsetInRecord = 13;
+constexpr std::uint8_t kPut = 1;
+constexpr std::uint8_t kTombstone = 2;
+constexpr std::size_t kInitialMapCapacity = std::size_t{1} << 20;  // 1 MiB
+
+void put_le(std::uint8_t* out, std::uint64_t v, int n) {
+  for (int i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+std::uint64_t read_le(const std::uint8_t* p, int n) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < n; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+  return v;
+}
+
+/// FNV-1a over kind + id bytes + payload: cheap, and torn tails are the
+/// threat model (a prefix of a valid record), not adversarial collisions.
+std::uint32_t record_checksum(std::uint8_t kind, DocId id,
+                              std::span<const std::uint8_t> payload) {
+  std::uint32_t h = 2166136261u;
+  const auto mix = [&h](std::uint8_t byte) {
+    h ^= byte;
+    h *= 16777619u;
+  };
+  mix(kind);
+  for (int i = 0; i < 8; ++i) {
+    mix(static_cast<std::uint8_t>(id >> (8 * i)));
+  }
+  for (const std::uint8_t byte : payload) mix(byte);
+  return h;
+}
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+LogEngine::LogEngine(std::string path, bool fsync_appends)
+    : path_(std::move(path)), fsync_appends_(fsync_appends) {
+  open_and_replay();
+}
+
+LogEngine::~LogEngine() { close_files(); }
+
+void LogEngine::close_files() {
+  if (map_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(map_), map_capacity_);
+    map_ = nullptr;
+    map_capacity_ = 0;
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void LogEngine::ensure_mapped(std::size_t size) {
+  if (size <= map_capacity_) return;
+  std::size_t capacity = std::max(map_capacity_, kInitialMapCapacity);
+  while (capacity < size) capacity *= 2;
+  if (map_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(map_), map_capacity_);
+    map_ = nullptr;
+  }
+  // Mapping beyond EOF is fine: only offsets < file_size_ are ever read,
+  // and those pages exist. Sizing the map ahead of the file keeps remaps
+  // off the shared-lock read path entirely.
+  void* mapped =
+      ::mmap(nullptr, capacity, PROT_READ, MAP_SHARED, fd_, 0);
+  FAIRDMS_CHECK(mapped != MAP_FAILED, "mmap failed for ", path_, ": ",
+                std::strerror(errno));
+  map_ = static_cast<const std::uint8_t*>(mapped);
+  map_capacity_ = capacity;
+}
+
+void LogEngine::open_and_replay() {
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  FAIRDMS_CHECK(fd_ >= 0, "cannot open log segment ", path_, ": ",
+                std::strerror(errno));
+  struct stat st{};
+  FAIRDMS_CHECK(::fstat(fd_, &st) == 0, "cannot stat ", path_);
+  file_size_ = static_cast<std::size_t>(st.st_size);
+
+  if (file_size_ < kHeaderBytes) {
+    // Empty, or a writer died inside the initial header write — either
+    // way there cannot be any committed record; start the segment fresh.
+    if (file_size_ != 0) {
+      util::log_info("log segment ", path_, ": discarding ", file_size_,
+                     " torn header byte(s)");
+      FAIRDMS_CHECK(::ftruncate(fd_, 0) == 0, "cannot truncate torn header of ",
+                    path_);
+    }
+    std::uint8_t header[kHeaderBytes] = {};
+    put_le(header, kSegmentMagic, 4);
+    put_le(header + 4, kSegmentVersion, 4);
+    put_le(header + 8, 0, 8);  // reserved
+    FAIRDMS_CHECK(write_all(fd_, header, kHeaderBytes),
+                  "cannot initialize log segment ", path_);
+    file_size_ = kHeaderBytes;
+    ensure_mapped(file_size_);
+    return;
+  }
+
+  ensure_mapped(file_size_);
+  FAIRDMS_CHECK(read_le(map_, 4) == kSegmentMagic, "bad magic in ", path_,
+                " (not a log segment)");
+  FAIRDMS_CHECK(read_le(map_ + 4, 4) == kSegmentVersion,
+                "unsupported log segment version in ", path_);
+
+  // Replay. Stop at the first incomplete or checksum-failing record: with
+  // sequential appends that is the torn tail of a crashed writer, and
+  // everything before it is intact by construction.
+  std::size_t pos = kHeaderBytes;
+  while (true) {
+    if (file_size_ - pos < kRecordOverhead) break;
+    const auto len =
+        static_cast<std::uint32_t>(read_le(map_ + pos, 4));
+    if (file_size_ - pos < kRecordOverhead + len) break;
+    const auto kind = static_cast<std::uint8_t>(map_[pos + 4]);
+    const DocId id = read_le(map_ + pos + 5, 8);
+    const std::span<const std::uint8_t> payload(
+        map_ + pos + kPayloadOffsetInRecord, len);
+    const auto stored_sum = static_cast<std::uint32_t>(
+        read_le(map_ + pos + kPayloadOffsetInRecord + len, 4));
+    if (stored_sum != record_checksum(kind, id, payload) ||
+        (kind != kPut && kind != kTombstone)) {
+      break;
+    }
+    auto it = entries_.find(id);
+    if (kind == kPut) {
+      if (it != entries_.end()) payload_bytes_ -= it->second.length;
+      entries_[id] =
+          Entry{pos + kPayloadOffsetInRecord, len};
+      payload_bytes_ += len;
+    } else if (it != entries_.end()) {
+      payload_bytes_ -= it->second.length;
+      entries_.erase(it);
+    }
+    pos += kRecordOverhead + len;
+  }
+
+  if (pos != file_size_) {
+    util::log_info("log segment ", path_, ": recovered ", entries_.size(),
+                   " document(s), truncating ", file_size_ - pos,
+                   " torn tail byte(s) at offset ", pos);
+    FAIRDMS_CHECK(::ftruncate(fd_, static_cast<off_t>(pos)) == 0,
+                  "cannot truncate torn tail of ", path_);
+    file_size_ = pos;
+  }
+}
+
+std::uint64_t LogEngine::append_record(std::uint8_t kind, DocId id,
+                                       std::span<const std::uint8_t> payload) {
+  FAIRDMS_CHECK(payload.size() <= UINT32_MAX, "log record payload too large (",
+                payload.size(), " bytes)");
+  Binary record(kRecordOverhead + payload.size());
+  put_le(record.data(), payload.size(), 4);
+  record[4] = kind;
+  put_le(record.data() + 5, id, 8);
+  if (!payload.empty()) {
+    std::memcpy(record.data() + kPayloadOffsetInRecord, payload.data(),
+                payload.size());
+  }
+  put_le(record.data() + kPayloadOffsetInRecord + payload.size(),
+         record_checksum(kind, id, payload), 4);
+  FAIRDMS_CHECK(write_all(fd_, record.data(), record.size()),
+                "append failed for ", path_, ": ", std::strerror(errno));
+  const std::uint64_t payload_offset = file_size_ + kPayloadOffsetInRecord;
+  file_size_ += record.size();
+  if (fsync_appends_) {
+    FAIRDMS_CHECK(::fdatasync(fd_) == 0, "fdatasync failed for ", path_);
+  }
+  ensure_mapped(file_size_);
+  return payload_offset;
+}
+
+Value LogEngine::load_doc(const Entry& entry) const {
+  Binary buf(map_ + entry.offset, map_ + entry.offset + entry.length);
+  return Value::decode(buf);
+}
+
+void LogEngine::insert(DocId id, Value doc, std::size_t bytes) {
+  Binary payload;
+  payload.reserve(bytes);
+  doc.encode(payload);
+  const std::uint64_t offset = append_record(kPut, id, payload);
+  entries_[id] = Entry{offset, static_cast<std::uint32_t>(payload.size())};
+  payload_bytes_ += payload.size();
+  indexes_.insert(id, doc);
+}
+
+std::optional<Value> LogEngine::fetch(DocId id,
+                                      std::span<const std::string> fields,
+                                      std::size_t& charged_bytes) const {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return std::nullopt;
+  Value doc = load_doc(it->second);
+  if (fields.empty()) {
+    charged_bytes += it->second.length;
+    return doc;
+  }
+  return project_fields(doc, fields, charged_bytes);
+}
+
+bool LogEngine::replace(DocId id, Value doc, std::size_t& stored_bytes) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  const Value old = load_doc(it->second);
+  indexes_.remove(id, old);
+  payload_bytes_ -= it->second.length;
+  Binary payload;
+  doc.encode(payload);
+  const std::uint64_t offset = append_record(kPut, id, payload);
+  it->second = Entry{offset, static_cast<std::uint32_t>(payload.size())};
+  payload_bytes_ += payload.size();
+  indexes_.insert(id, doc);
+  stored_bytes = payload.size();
+  return true;
+}
+
+bool LogEngine::update(DocId id, Object fields) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  Value doc = load_doc(it->second);
+  indexes_.remove(id, doc);
+  payload_bytes_ -= it->second.length;
+  Object& obj = doc.as_object();
+  for (auto& [field, value] : fields) {
+    obj[field] = std::move(value);
+  }
+  Binary payload;
+  doc.encode(payload);
+  const std::uint64_t offset = append_record(kPut, id, payload);
+  it->second = Entry{offset, static_cast<std::uint32_t>(payload.size())};
+  payload_bytes_ += payload.size();
+  indexes_.insert(id, doc);
+  return true;
+}
+
+bool LogEngine::erase(DocId id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  const Value old = load_doc(it->second);
+  append_record(kTombstone, id, {});
+  indexes_.remove(id, old);
+  payload_bytes_ -= it->second.length;
+  entries_.erase(it);
+  return true;
+}
+
+void LogEngine::create_index(const std::string& field) {
+  if (!indexes_.create(field)) return;
+  for (const auto& [id, entry] : entries_) {
+    indexes_.insert_into(field, id, load_doc(entry));
+  }
+}
+
+bool LogEngine::has_index(const std::string& field) const {
+  return indexes_.contains(field);
+}
+
+std::vector<std::string> LogEngine::index_fields() const {
+  return indexes_.fields();
+}
+
+void LogEngine::find_eq(const std::string& field, const Value& value,
+                        std::vector<DocId>& out) const {
+  if (indexes_.find_eq(field, value, out)) return;
+  for (const auto& [id, entry] : entries_) {
+    const Value doc = load_doc(entry);
+    if (doc.contains(field) && doc.at(field) == value) out.push_back(id);
+  }
+}
+
+void LogEngine::find_range(const std::string& field, const Value& lo,
+                           const Value& hi, std::vector<DocId>& out) const {
+  if (indexes_.find_range(field, lo, hi, out)) return;
+  for (const auto& [id, entry] : entries_) {
+    const Value doc = load_doc(entry);
+    if (!doc.contains(field)) continue;
+    const Value& v = doc.at(field);
+    if (!(v < lo) && v < hi) out.push_back(id);
+  }
+}
+
+void LogEngine::scan(
+    const std::function<void(DocId, const Value&)>& fn) const {
+  for (const auto& [id, entry] : entries_) {
+    const Value doc = load_doc(entry);
+    fn(id, doc);
+  }
+}
+
+void LogEngine::append_ids(std::vector<DocId>& out) const {
+  out.reserve(out.size() + entries_.size());
+  for (const auto& [id, _] : entries_) out.push_back(id);
+}
+
+void LogEngine::compact() {
+  const std::string tmp = path_ + ".tmp";
+  const int tfd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  FAIRDMS_CHECK(tfd >= 0, "cannot create ", tmp, ": ", std::strerror(errno));
+
+  std::uint8_t header[kHeaderBytes] = {};
+  put_le(header, kSegmentMagic, 4);
+  put_le(header + 4, kSegmentVersion, 4);
+  bool ok = write_all(tfd, header, kHeaderBytes);
+  std::map<DocId, Entry> rewritten;
+  std::size_t new_size = kHeaderBytes;
+  for (const auto& [id, entry] : entries_) {
+    if (!ok) break;
+    const std::span<const std::uint8_t> payload(map_ + entry.offset,
+                                                entry.length);
+    Binary record(kRecordOverhead + payload.size());
+    put_le(record.data(), payload.size(), 4);
+    record[4] = kPut;
+    put_le(record.data() + 5, id, 8);
+    std::memcpy(record.data() + kPayloadOffsetInRecord, payload.data(),
+                payload.size());
+    put_le(record.data() + kPayloadOffsetInRecord + payload.size(),
+           record_checksum(kPut, id, payload), 4);
+    ok = write_all(tfd, record.data(), record.size());
+    rewritten[id] = Entry{new_size + kPayloadOffsetInRecord, entry.length};
+    new_size += record.size();
+  }
+  if (ok) ok = ::fsync(tfd) == 0;
+  ::close(tfd);
+  FAIRDMS_CHECK(ok, "compaction write failed for ", tmp, ": ",
+                std::strerror(errno));
+  FAIRDMS_CHECK(std::rename(tmp.c_str(), path_.c_str()) == 0,
+                "compaction rename failed for ", path_, ": ",
+                std::strerror(errno));
+  std::string error;
+  FAIRDMS_CHECK(util::fsync_parent_dir(path_, &error),
+                "compaction dir fsync failed: ", error);
+
+  // Swap to the rotated segment: the old fd/mapping still reference the
+  // unlinked inode until closed.
+  close_files();
+  fd_ = ::open(path_.c_str(), O_RDWR | O_APPEND | O_CLOEXEC);
+  FAIRDMS_CHECK(fd_ >= 0, "cannot reopen compacted segment ", path_);
+  file_size_ = new_size;
+  ensure_mapped(file_size_);
+  entries_ = std::move(rewritten);
+}
+
+}  // namespace fairdms::store

@@ -1,0 +1,113 @@
+// LogEngine: a memory-mapped append-only log storage engine.
+//
+// One segment file per shard. Every mutation appends a length-prefixed,
+// checksummed record — a `put` carrying the full encoded document (inserts,
+// replaces, and field updates all supersede by id) or a `tombstone`
+// (deletes). Reads go through an in-memory id -> (offset, length) index
+// into a read-only mmap of the segment; the index, the live-document count,
+// and the payload-byte accounting are rebuilt by replaying the segment on
+// open.
+//
+// Crash consistency: appends are single sequential write(2) calls, so a
+// process killed at any byte offset leaves the segment equal to a prefix
+// of the record stream plus at most one torn record. Replay stops at the
+// first incomplete or checksum-failing record and truncates it away — the
+// engine recovers to the last complete record, losing at most the
+// in-flight tail. `compact()` rewrites only the live documents through a
+// tmp + fsync + rename rotation (the nfs.cpp `.meta` pattern), so a crash
+// mid-compaction leaves either the old segment or the new one, never a
+// mix.
+//
+// Record layout (after a 16-byte segment header of magic/version/shard):
+//   u32 payload_len | u8 kind (1=put, 2=tombstone) | u64 id
+//   | payload_len bytes (Value::encode of the document; empty for
+//     tombstones) | u32 checksum (FNV-1a over kind, id, payload)
+//
+// Like every StorageEngine, all methods run under the owning shard's lock;
+// the mmap is remapped only during exclusive-lock appends (the mapping is
+// sized ahead of the file so shared-lock readers never touch mmap state).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "store/storage_engine.hpp"
+
+namespace fairdms::store {
+
+class LogEngine final : public StorageEngine {
+ public:
+  /// Opens (or creates) segment `path` and replays it. Aborts on real I/O
+  /// or format errors (wrong magic/version: the path is not a segment);
+  /// a torn tail is not an error — it is truncated away with a log line.
+  explicit LogEngine(std::string path, bool fsync_appends = false);
+  ~LogEngine() override;
+
+  LogEngine(const LogEngine&) = delete;
+  LogEngine& operator=(const LogEngine&) = delete;
+
+  [[nodiscard]] const char* name() const override { return "log"; }
+
+  void insert(DocId id, Value doc, std::size_t bytes) override;
+  [[nodiscard]] std::optional<Value> fetch(
+      DocId id, std::span<const std::string> fields,
+      std::size_t& charged_bytes) const override;
+  bool replace(DocId id, Value doc, std::size_t& stored_bytes) override;
+  bool update(DocId id, Object fields) override;
+  bool erase(DocId id) override;
+
+  void create_index(const std::string& field) override;
+  [[nodiscard]] bool has_index(const std::string& field) const override;
+  [[nodiscard]] std::vector<std::string> index_fields() const override;
+  void find_eq(const std::string& field, const Value& value,
+               std::vector<DocId>& out) const override;
+  void find_range(const std::string& field, const Value& lo, const Value& hi,
+                  std::vector<DocId>& out) const override;
+
+  void scan(
+      const std::function<void(DocId, const Value&)>& fn) const override;
+  void append_ids(std::vector<DocId>& out) const override;
+  [[nodiscard]] std::size_t size() const override { return entries_.size(); }
+  [[nodiscard]] std::size_t payload_bytes() const override {
+    return payload_bytes_;
+  }
+  [[nodiscard]] DocId max_id() const override {
+    return entries_.empty() ? 0 : entries_.rbegin()->first;
+  }
+
+  /// Rewrites the segment with only the live documents (tmp + fsync +
+  /// rename), dropping superseded records and tombstones.
+  void compact() override;
+
+  /// Current segment size in bytes (observability + compaction tests).
+  [[nodiscard]] std::size_t segment_bytes() const { return file_size_; }
+
+ private:
+  struct Entry {
+    std::uint64_t offset = 0;  ///< payload offset within the segment
+    std::uint32_t length = 0;  ///< payload length == encoded document size
+  };
+
+  void open_and_replay();
+  /// Appends one framed record; returns the payload's file offset.
+  std::uint64_t append_record(std::uint8_t kind, DocId id,
+                              std::span<const std::uint8_t> payload);
+  /// Ensures the read mapping covers at least `size` file bytes.
+  void ensure_mapped(std::size_t size);
+  [[nodiscard]] Value load_doc(const Entry& entry) const;
+  void close_files();
+
+  std::string path_;
+  bool fsync_appends_;
+  int fd_ = -1;
+  const std::uint8_t* map_ = nullptr;
+  std::size_t map_capacity_ = 0;
+  std::size_t file_size_ = 0;
+  /// Ordered so max_id() and deterministic scans are free.
+  std::map<DocId, Entry> entries_;
+  std::size_t payload_bytes_ = 0;
+  SecondaryIndexes indexes_;
+};
+
+}  // namespace fairdms::store

@@ -1,9 +1,13 @@
 #include "store/persist.hpp"
 
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
+#include <unordered_set>
 
 #include "util/check.hpp"
+#include "util/fsio.hpp"
 
 namespace fairdms::store {
 
@@ -15,31 +19,80 @@ constexpr std::uint32_t kManifestMagic = 0x464D414E;  // "FMAN"
 constexpr std::uint32_t kCollectionMagic = 0x46434F4C; // "FCOL"
 constexpr std::uint32_t kVersion = 1;
 
-void put_u32(std::ofstream& out, std::uint32_t v) {
-  out.write(reinterpret_cast<const char*>(&v), 4);
+template <typename... Args>
+PersistResult fail(Args&&... args) {
+  std::ostringstream oss;
+  (oss << ... << args);
+  return PersistResult{oss.str()};
 }
-void put_u64(std::ofstream& out, std::uint64_t v) {
-  out.write(reinterpret_cast<const char*>(&v), 8);
+
+void put_u32(Binary& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
 }
-void put_string(std::ofstream& out, const std::string& s) {
+void put_u64(Binary& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+void put_string(Binary& out, const std::string& s) {
   put_u64(out, s.size());
-  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
 }
-std::uint32_t get_u32(std::ifstream& in) {
-  std::uint32_t v = 0;
-  in.read(reinterpret_cast<char*>(&v), 4);
-  return v;
-}
-std::uint64_t get_u64(std::ifstream& in) {
-  std::uint64_t v = 0;
-  in.read(reinterpret_cast<char*>(&v), 8);
-  return v;
-}
-std::string get_string(std::ifstream& in) {
-  const std::uint64_t n = get_u64(in);
-  std::string s(n, '\0');
-  in.read(s.data(), static_cast<std::streamsize>(n));
-  return s;
+
+/// Bounds-checked little-endian reader over an in-memory snapshot. Every
+/// read_* checks the *remaining* byte count (never `pos + n`, which a
+/// hostile 64-bit length could wrap), so no corrupt header can push the
+/// cursor out of bounds or size an allocation beyond the input.
+struct Cursor {
+  const Binary& in;
+  std::size_t pos = 0;
+
+  [[nodiscard]] std::size_t remaining() const { return in.size() - pos; }
+
+  bool read_u32(std::uint32_t& v) {
+    if (remaining() < 4) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{in[pos++]} << (8 * i);
+    return true;
+  }
+  bool read_u64(std::uint64_t& v) {
+    if (remaining() < 8) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{in[pos++]} << (8 * i);
+    return true;
+  }
+  bool read_string(std::string& s) {
+    std::uint64_t n = 0;
+    if (!read_u64(n) || n > remaining()) return false;
+    s.assign(in.begin() + static_cast<std::ptrdiff_t>(pos),
+             in.begin() + static_cast<std::ptrdiff_t>(pos + n));
+    pos += n;
+    return true;
+  }
+  bool read_bytes(std::uint64_t n, Binary& b) {
+    if (n > remaining()) return false;
+    b.assign(in.begin() + static_cast<std::ptrdiff_t>(pos),
+             in.begin() + static_cast<std::ptrdiff_t>(pos + n));
+    pos += n;
+    return true;
+  }
+};
+
+PersistResult read_file(const std::string& path, Binary& out) {
+  std::error_code ec;
+  const std::uintmax_t size = fs::file_size(path, ec);
+  if (ec) return fail("cannot stat snapshot file ", path, ": ", ec.message());
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return fail("cannot read snapshot file ", path);
+  out.resize(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(out.data()),
+          static_cast<std::streamsize>(out.size()));
+  if (in.gcount() != static_cast<std::streamsize>(out.size())) {
+    return fail("short read on snapshot file ", path);
+  }
+  return {};
 }
 
 std::string collection_path(const std::string& directory,
@@ -47,7 +100,15 @@ std::string collection_path(const std::string& directory,
   return directory + "/" + name + ".col";
 }
 
-void save_collection(const Collection& col, const std::string& path) {
+/// Collection names become file names; reject anything a corrupt manifest
+/// could use to escape the snapshot directory.
+bool valid_collection_name(const std::string& name) {
+  return !name.empty() && name != "." && name != ".." &&
+         name.find('/') == std::string::npos &&
+         name.find('\0') == std::string::npos;
+}
+
+PersistResult save_collection(const Collection& col, const std::string& path) {
   // Collect first, frame after: scan/size/next_id are three independent
   // snapshots on a (possibly sharded) live collection, so the file header
   // must describe what the scan actually captured, and next_id must be
@@ -64,8 +125,7 @@ void save_collection(const Collection& col, const std::string& path) {
   const DocId next_id = col.next_id();
   const auto fields = col.index_fields();
 
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  FAIRDMS_CHECK(out.good(), "cannot write snapshot file ", path);
+  Binary out;
   put_u32(out, kCollectionMagic);
   put_u32(out, kVersion);
   put_u64(out, next_id);
@@ -75,75 +135,188 @@ void save_collection(const Collection& col, const std::string& path) {
   for (const auto& [id, buf] : docs) {
     put_u64(out, id);
     put_u64(out, buf.size());
-    out.write(reinterpret_cast<const char*>(buf.data()),
-              static_cast<std::streamsize>(buf.size()));
+    out.insert(out.end(), buf.begin(), buf.end());
   }
-  FAIRDMS_CHECK(out.good(), "snapshot write failed for ", path);
+  std::string error;
+  if (!util::write_file_atomic(path, out, &error)) {
+    return fail("snapshot write failed for ", path, ": ", error);
+  }
+  return {};
 }
 
-void load_collection(Collection& col, const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  FAIRDMS_CHECK(in.good(), "cannot read snapshot file ", path);
-  FAIRDMS_CHECK(get_u32(in) == kCollectionMagic, "bad collection magic in ",
-                path);
-  FAIRDMS_CHECK(get_u32(in) == kVersion, "bad snapshot version in ", path);
-  const DocId next_id = get_u64(in);
-  const std::uint64_t n_fields = get_u64(in);
-  for (std::uint64_t i = 0; i < n_fields; ++i) {
-    col.create_index(get_string(in));
+PersistResult load_collection(Collection& col, const std::string& path) {
+  Binary bytes;
+  if (PersistResult r = read_file(path, bytes); !r.ok()) return r;
+
+  // Parse and validate the whole file before touching the collection, so a
+  // corrupt snapshot leaves it exactly as it was.
+  Cursor cur{bytes};
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  if (!cur.read_u32(magic) || magic != kCollectionMagic) {
+    return fail("bad collection magic in ", path);
   }
-  const std::uint64_t count = get_u64(in);
+  if (!cur.read_u32(version) || version != kVersion) {
+    return fail("bad snapshot version in ", path);
+  }
+  std::uint64_t next_id = 0;
+  std::uint64_t n_fields = 0;
+  if (!cur.read_u64(next_id) || !cur.read_u64(n_fields)) {
+    return fail("truncated snapshot header in ", path);
+  }
+  if (n_fields > cur.remaining() / 8) {  // each field costs >= a u64 length
+    return fail("bad index-field count in ", path);
+  }
+  std::vector<std::string> fields;
+  fields.reserve(n_fields);
+  for (std::uint64_t i = 0; i < n_fields; ++i) {
+    std::string field;
+    if (!cur.read_string(field)) {
+      return fail("truncated index field ", i, " in ", path);
+    }
+    fields.push_back(std::move(field));
+  }
+  std::uint64_t count = 0;
+  if (!cur.read_u64(count)) return fail("truncated snapshot ", path);
+  if (count > cur.remaining() / 16) {  // each doc costs >= id + length
+    return fail("bad document count in ", path);
+  }
   std::vector<std::pair<DocId, Value>> docs;
   docs.reserve(count);
+  std::unordered_set<DocId> seen;
+  seen.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
-    const DocId id = get_u64(in);
-    const std::uint64_t bytes = get_u64(in);
-    Binary buf(bytes);
-    in.read(reinterpret_cast<char*>(buf.data()),
-            static_cast<std::streamsize>(bytes));
-    FAIRDMS_CHECK(in.good(), "truncated snapshot ", path);
-    docs.emplace_back(id, Value::decode(buf));
+    std::uint64_t id = 0;
+    std::uint64_t len = 0;
+    Binary buf;
+    if (!cur.read_u64(id) || !cur.read_u64(len) || !cur.read_bytes(len, buf)) {
+      return fail("truncated snapshot ", path, " (document ", i, ")");
+    }
+    if (id >= next_id) {
+      return fail("document ", i, " in ", path, ": id ", id, " >= next_id ",
+                  next_id);
+    }
+    if (!seen.insert(id).second) {
+      return fail("document ", i, " in ", path, ": duplicate id ", id);
+    }
+    std::optional<Value> doc = Value::try_decode(buf);
+    if (!doc.has_value() || !doc->is_object()) {
+      return fail("document ", i, " in ", path, ": undecodable payload");
+    }
+    docs.emplace_back(id, std::move(*doc));
   }
+  if (cur.remaining() != 0) {
+    return fail("trailing bytes in snapshot ", path);
+  }
+  if (col.size() != 0) {
+    return fail("restore into non-empty collection '", col.collection_name(),
+                "'");
+  }
+  for (const auto& field : fields) col.create_index(field);
   col.restore(next_id, std::move(docs));
+  return {};
 }
 
 }  // namespace
 
-void save_store(const DocStore& db, const std::string& directory) {
-  fs::create_directories(directory);
-  const auto names = db.collection_names();
-  {
-    std::ofstream manifest(directory + "/manifest.bin",
-                           std::ios::binary | std::ios::trunc);
-    FAIRDMS_CHECK(manifest.good(), "cannot write manifest in ", directory);
-    put_u32(manifest, kManifestMagic);
-    put_u32(manifest, kVersion);
-    put_u64(manifest, names.size());
-    for (const auto& name : names) put_string(manifest, name);
+PersistResult try_save_store(const DocStore& db,
+                             const std::string& directory) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) {
+    return fail("cannot create snapshot directory ", directory, ": ",
+                ec.message());
   }
+  const auto names = db.collection_names();
+  // Collection files land (atomically, durably) before the manifest that
+  // names them: a reader never follows a manifest to a missing or
+  // half-written .col file, no matter where the writer died.
   for (const auto& name : names) {
     // collection() is non-const but does not mutate an existing collection.
-    save_collection(const_cast<DocStore&>(db).collection(name),
-                    collection_path(directory, name));
+    PersistResult r =
+        save_collection(const_cast<DocStore&>(db).collection(name),
+                        collection_path(directory, name));
+    if (!r.ok()) return r;
   }
+  Binary manifest;
+  put_u32(manifest, kManifestMagic);
+  put_u32(manifest, kVersion);
+  put_u64(manifest, names.size());
+  for (const auto& name : names) put_string(manifest, name);
+  std::string error;
+  if (!util::write_file_atomic(directory + "/manifest.bin", manifest,
+                               &error)) {
+    return fail("cannot write manifest in ", directory, ": ", error);
+  }
+  return {};
 }
 
-std::vector<std::string> snapshot_collections(const std::string& directory) {
-  std::ifstream manifest(directory + "/manifest.bin", std::ios::binary);
-  FAIRDMS_CHECK(manifest.good(), "no snapshot manifest in ", directory);
-  FAIRDMS_CHECK(get_u32(manifest) == kManifestMagic, "bad manifest magic");
-  FAIRDMS_CHECK(get_u32(manifest) == kVersion, "bad manifest version");
-  const std::uint64_t n = get_u64(manifest);
-  std::vector<std::string> names;
+PersistResult try_snapshot_collections(const std::string& directory,
+                                       std::vector<std::string>& names) {
+  names.clear();
+  const std::string path = directory + "/manifest.bin";
+  if (!fs::exists(path)) return fail("no snapshot manifest in ", directory);
+  Binary bytes;
+  if (PersistResult r = read_file(path, bytes); !r.ok()) return r;
+  Cursor cur{bytes};
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  if (!cur.read_u32(magic) || magic != kManifestMagic) {
+    return fail("bad manifest magic in ", directory);
+  }
+  if (!cur.read_u32(version) || version != kVersion) {
+    return fail("bad manifest version in ", directory);
+  }
+  std::uint64_t n = 0;
+  if (!cur.read_u64(n)) return fail("truncated manifest in ", directory);
+  if (n > cur.remaining() / 8) {
+    return fail("bad collection count in manifest in ", directory);
+  }
   names.reserve(n);
-  for (std::uint64_t i = 0; i < n; ++i) names.push_back(get_string(manifest));
-  return names;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string name;
+    if (!cur.read_string(name)) {
+      return fail("truncated manifest entry ", i, " in ", directory);
+    }
+    if (!valid_collection_name(name)) {
+      return fail("invalid collection name in manifest in ", directory);
+    }
+    names.push_back(std::move(name));
+  }
+  if (cur.remaining() != 0) {
+    return fail("trailing bytes in manifest in ", directory);
+  }
+  return {};
+}
+
+PersistResult try_load_store(DocStore& db, const std::string& directory) {
+  std::vector<std::string> names;
+  if (PersistResult r = try_snapshot_collections(directory, names); !r.ok()) {
+    return r;
+  }
+  for (const auto& name : names) {
+    PersistResult r =
+        load_collection(db.collection(name), collection_path(directory, name));
+    if (!r.ok()) return r;
+  }
+  return {};
+}
+
+void save_store(const DocStore& db, const std::string& directory) {
+  const PersistResult r = try_save_store(db, directory);
+  FAIRDMS_CHECK(r.ok(), r.error);
 }
 
 void load_store(DocStore& db, const std::string& directory) {
-  for (const auto& name : snapshot_collections(directory)) {
-    load_collection(db.collection(name), collection_path(directory, name));
-  }
+  const PersistResult r = try_load_store(db, directory);
+  FAIRDMS_CHECK(r.ok(), r.error);
+}
+
+std::vector<std::string> snapshot_collections(const std::string& directory) {
+  std::vector<std::string> names;
+  const PersistResult r = try_snapshot_collections(directory, names);
+  FAIRDMS_CHECK(r.ok(), r.error);
+  return names;
 }
 
 }  // namespace fairdms::store

@@ -1,0 +1,224 @@
+// Pluggable storage engines behind store::Collection.
+//
+// MongoDB's architecture separates the document/query surface from the
+// storage engine underneath it (MMAPv1 -> WiredTiger swapped without the
+// query layer noticing); this seam is the same cut for the fairDS store.
+// A Collection keeps owning identity (name, id allocation), sharding,
+// locking, and RemoteLink charge accounting; everything below — the
+// document map, the secondary indexes, and the resident-payload byte
+// accounting — lives behind StorageEngine, one engine instance per shard.
+//
+// Contract: every method is invoked with the owning shard's lock held —
+// exclusively for mutations, shared for const reads — so engines are
+// written single-threaded and inherit the collection's locking discipline
+// (including the PR-7 thread-safety annotations and the TSan suites)
+// unchanged. Charge arithmetic stays in Collection; engines only report
+// the stored-payload bytes a given read or write touches, so RemoteLink
+// accounting is engine-independent by construction.
+//
+// Engines:
+//  * MemEngine — the seed's in-memory guts, byte-for-byte: unordered doc
+//    map + cached encoded sizes + in-memory ordered secondary indexes.
+//  * LogEngine (log_engine.hpp) — a memory-mapped append-only log with an
+//    in-memory id->offset index, tombstones, and explicit compaction; the
+//    first durable engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "store/document.hpp"
+
+namespace fairdms::store {
+
+using DocId = std::uint64_t;
+
+enum class EngineKind : std::uint8_t {
+  kMem,  ///< in-memory (the seed behavior; nothing survives the process)
+  kLog,  ///< memory-mapped append-only log (durable, crash-recovering)
+};
+
+[[nodiscard]] const char* to_string(EngineKind kind);
+/// "mem" | "log" -> kind; nullopt on anything else.
+[[nodiscard]] std::optional<EngineKind> parse_engine_kind(
+    std::string_view name);
+
+/// Engine selection + engine-specific knobs, plumbed from DocStoreConfig /
+/// FairDSConfig down to the per-shard engine instances.
+struct StorageEngineConfig {
+  EngineKind kind = EngineKind::kMem;
+  /// kLog: the collection's data directory (created if missing), holding
+  /// `engine.meta` plus one `shard-<k>.log` segment per shard. When the
+  /// config enters through DocStoreConfig the directory is the *store*
+  /// root and the collection name is appended automatically.
+  std::string directory;
+  /// kLog: fdatasync every committed append. kill -9 safety never needs
+  /// this (the kernel keeps completed writes); power-loss durability does.
+  bool fsync_appends = false;
+};
+
+/// Secondary-index machinery shared by engines: field -> (value -> ids,
+/// ordered by value for range scans). Id vectors are in maintenance order;
+/// Collection sorts merged results, so order here is not part of the
+/// contract.
+class SecondaryIndexes {
+ public:
+  /// Returns false when the index already existed (creation is a no-op).
+  bool create(const std::string& field) {
+    return indexes_.try_emplace(field).second;
+  }
+  [[nodiscard]] bool contains(const std::string& field) const {
+    return indexes_.count(field) > 0;
+  }
+  [[nodiscard]] std::vector<std::string> fields() const;
+
+  void insert(DocId id, const Value& doc);
+  void remove(DocId id, const Value& doc);
+  /// Indexes one existing document into `field` only (index-creation
+  /// backfill; insert() would also touch every other index).
+  void insert_into(const std::string& field, DocId id, const Value& doc);
+
+  /// Appends matching ids to `out`; false when `field` has no index (the
+  /// engine must fall back to a scan).
+  bool find_eq(const std::string& field, const Value& value,
+               std::vector<DocId>& out) const;
+  bool find_range(const std::string& field, const Value& lo, const Value& hi,
+                  std::vector<DocId>& out) const;
+
+ private:
+  std::unordered_map<std::string, std::map<Value, std::vector<DocId>>>
+      indexes_;
+};
+
+/// Projects `fields` out of `doc` (documents missing a projected field
+/// simply omit it), accumulating the charged bytes exactly like the seed's
+/// find_many: 8 + field-name bytes + encoded value bytes per present field.
+[[nodiscard]] Value project_fields(const Value& doc,
+                                   std::span<const std::string> fields,
+                                   std::size_t& charged_bytes);
+
+/// One shard's storage. All methods are called under the owning shard's
+/// lock (exclusive for mutations, shared for const reads) — see file
+/// comment for the full contract.
+class StorageEngine {
+ public:
+  virtual ~StorageEngine() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Stores a new document under `id` (`_id` already stamped by the
+  /// caller); `bytes` is its encoded size, which the engine must report
+  /// back from payload_bytes()/fetch() accounting. `id` must not be live.
+  virtual void insert(DocId id, Value doc, std::size_t bytes) = 0;
+
+  /// Fetches document `id`: the full document when `fields` is empty
+  /// (charging its stored encoded size), otherwise the projection
+  /// (charging per present field). nullopt when absent (nothing charged).
+  [[nodiscard]] virtual std::optional<Value> fetch(
+      DocId id, std::span<const std::string> fields,
+      std::size_t& charged_bytes) const = 0;
+
+  /// Replaces document `id`; `stored_bytes` gets the new encoded size when
+  /// found (the caller charges it). False + untouched when absent.
+  virtual bool replace(DocId id, Value doc, std::size_t& stored_bytes) = 0;
+
+  /// Applies `fields` to document `id` atomically (indexes, cached sizes,
+  /// and payload accounting maintained). False when absent.
+  virtual bool update(DocId id, Object fields) = 0;
+
+  /// Removes document `id`; false when absent.
+  virtual bool erase(DocId id) = 0;
+
+  virtual void create_index(const std::string& field) = 0;
+  [[nodiscard]] virtual bool has_index(const std::string& field) const = 0;
+  [[nodiscard]] virtual std::vector<std::string> index_fields() const = 0;
+  /// Appends ids with doc.field == value (index lookup or scan fallback).
+  virtual void find_eq(const std::string& field, const Value& value,
+                       std::vector<DocId>& out) const = 0;
+  /// Appends ids with lo <= doc.field < hi.
+  virtual void find_range(const std::string& field, const Value& lo,
+                          const Value& hi, std::vector<DocId>& out) const = 0;
+
+  /// Applies fn to every live (id, doc); iteration order is unspecified.
+  virtual void scan(
+      const std::function<void(DocId, const Value&)>& fn) const = 0;
+  /// Appends every live id (order unspecified; Collection sorts).
+  virtual void append_ids(std::vector<DocId>& out) const = 0;
+
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  /// Resident payload bytes: the sum of live documents' encoded sizes —
+  /// identical across engines so approx_bytes() is engine-independent.
+  [[nodiscard]] virtual std::size_t payload_bytes() const = 0;
+  /// Highest live id (0 when empty) — lets a reopened durable engine
+  /// resume the collection's id counter past everything it recovered.
+  [[nodiscard]] virtual DocId max_id() const = 0;
+
+  /// Reclaims space held by superseded/tombstoned records (durable
+  /// engines); a no-op for purely in-memory storage.
+  virtual void compact() {}
+};
+
+/// The seed's in-memory per-shard store behind the engine seam: document
+/// map with cached encoded sizes, in-memory secondary indexes, payload
+/// byte accounting. Byte-for-byte the pre-seam behavior.
+class MemEngine final : public StorageEngine {
+ public:
+  [[nodiscard]] const char* name() const override { return "mem"; }
+
+  void insert(DocId id, Value doc, std::size_t bytes) override;
+  [[nodiscard]] std::optional<Value> fetch(
+      DocId id, std::span<const std::string> fields,
+      std::size_t& charged_bytes) const override;
+  bool replace(DocId id, Value doc, std::size_t& stored_bytes) override;
+  bool update(DocId id, Object fields) override;
+  bool erase(DocId id) override;
+
+  void create_index(const std::string& field) override;
+  [[nodiscard]] bool has_index(const std::string& field) const override;
+  [[nodiscard]] std::vector<std::string> index_fields() const override;
+  void find_eq(const std::string& field, const Value& value,
+               std::vector<DocId>& out) const override;
+  void find_range(const std::string& field, const Value& lo, const Value& hi,
+                  std::vector<DocId>& out) const override;
+
+  void scan(
+      const std::function<void(DocId, const Value&)>& fn) const override;
+  void append_ids(std::vector<DocId>& out) const override;
+  [[nodiscard]] std::size_t size() const override { return docs_.size(); }
+  [[nodiscard]] std::size_t payload_bytes() const override {
+    return payload_bytes_;
+  }
+  [[nodiscard]] DocId max_id() const override;
+
+ private:
+  /// A stored document plus its cached encoded size, so every read charges
+  /// real bytes without re-serializing the (often multi-KB) payload.
+  struct StoredDoc {
+    Value doc;
+    std::size_t bytes = 0;
+  };
+
+  std::unordered_map<DocId, StoredDoc> docs_;
+  std::size_t payload_bytes_ = 0;
+  SecondaryIndexes indexes_;
+};
+
+/// Builds the per-shard engines for one collection. For kLog this creates
+/// (or validates) the collection directory — `engine.meta` pins the shard
+/// count a log directory was written with, so a reopen with a different
+/// count fails loudly instead of silently mis-routing ids — and replays
+/// each shard's segment. `config.directory` is used as the collection
+/// directory verbatim.
+std::vector<std::unique_ptr<StorageEngine>> make_shard_engines(
+    const StorageEngineConfig& config, const std::string& collection_name,
+    std::size_t shards);
+
+}  // namespace fairdms::store

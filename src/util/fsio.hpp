@@ -1,0 +1,37 @@
+// Crash-consistent file I/O primitives.
+//
+// Durability on POSIX requires more than ofstream: a file's bytes must be
+// fsync'd before its directory entry is swapped, and the rename itself must
+// be flushed by fsync'ing the parent directory, or a crash can leave a torn
+// file (or no file) where the previous good one used to be. These helpers
+// centralize the write-tmp + fsync + rename + dir-fsync dance used by the
+// snapshot path (store/persist.cpp), the NFS metadata path (store/nfs.cpp
+// pioneered the rename half), and the log engine's segment rotation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace fairdms::util {
+
+/// fsync(2) the file at `path`. Returns false (with `error` set when given)
+/// when the file cannot be opened or synced.
+bool fsync_path(const std::string& path, std::string* error = nullptr);
+
+/// fsync(2) the directory containing `path`, making a completed rename of
+/// `path` durable. Best effort on filesystems that reject directory fsync;
+/// real open/IO failures return false.
+bool fsync_parent_dir(const std::string& path, std::string* error = nullptr);
+
+/// Writes `bytes` to `path` atomically and durably: the data lands in
+/// `<path>.tmp`, is fsync'd, and is renamed over `path`, then the parent
+/// directory is fsync'd. A crash at any byte offset leaves either the old
+/// complete file or the new complete file — never a truncated mix, and
+/// never a destroyed previous version. Returns false with `error` set on
+/// any I/O failure (the tmp file is removed on failure when possible).
+[[nodiscard]] bool write_file_atomic(const std::string& path,
+                                     std::span<const std::uint8_t> bytes,
+                                     std::string* error = nullptr);
+
+}  // namespace fairdms::util
