@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <chrono>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -39,6 +40,8 @@ int main(int argc, char** argv) {
   std::size_t workers = 4;
   std::size_t max_pending = 64;
   std::size_t history_samples = 256;
+  std::size_t n_streams = 1;   // stream 0 is kDefaultStreamName (v1 peers)
+  bool auto_retrain = false;   // per-stream fig16 policy on every stream
   double duration_seconds = 0.0;  // 0 => run until SIGTERM/SIGINT
   std::string engine = "mem";
   std::string data_dir;  // required for --engine log
@@ -51,6 +54,10 @@ int main(int argc, char** argv) {
       max_pending = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--history") == 0 && i + 1 < argc) {
       history_samples = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--streams") == 0 && i + 1 < argc) {
+      n_streams = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--auto-retrain") == 0) {
+      auto_retrain = true;
     } else if (std::strcmp(argv[i], "--duration") == 0 && i + 1 < argc) {
       duration_seconds = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
@@ -60,11 +67,13 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: serve [--port N] [--workers N] [--max-pending N] "
-                   "[--history N] [--duration SECONDS] [--engine mem|log] "
+                   "[--history N] [--streams N] [--auto-retrain] "
+                   "[--duration SECONDS] [--engine mem|log] "
                    "[--data-dir DIR]\n");
       return 2;
     }
   }
+  if (n_streams == 0) n_streams = 1;
   const auto engine_kind = store::parse_engine_kind(engine);
   if (!engine_kind.has_value()) {
     std::fprintf(stderr, "serve: unknown --engine '%s' (mem|log)\n",
@@ -91,16 +100,30 @@ int main(int argc, char** argv) {
   db_config.engine.kind = *engine_kind;
   db_config.engine.directory = data_dir;  // store root; "<dir>/<collection>"
   store::DocStore db(db_config);
-  fairds::FairDSConfig ds_config;
-  ds_config.embedding_dim = 12;
-  ds_config.n_clusters = 8;
-  ds_config.embed_train.epochs = 2;
-  ds_config.certainty_threshold = 0.8;
-  ds_config.store_shards = 4;
-  ds_config.seed = 6161;
-  fairds::FairDS ds(ds_config, db);
-  ds.train_system(history.xs);
-  ds.ingest(history.xs, history.ys, "history");
+
+  // One FairDS (own collection, own snapshot chain) per stream. Stream 0 is
+  // the default stream — what v1 wire peers and stream-less v2 frames hit;
+  // extra streams are named s1..sN-1 and share the same world shape so one
+  // fallback labeler serves them all.
+  std::vector<std::string> stream_names;
+  std::vector<std::unique_ptr<fairds::FairDS>> streams;
+  for (std::size_t s = 0; s < n_streams; ++s) {
+    fairds::FairDSConfig ds_config;
+    ds_config.embedding_dim = 12;
+    ds_config.n_clusters = 8;
+    ds_config.embed_train.epochs = 2;
+    ds_config.certainty_threshold = 0.8;
+    ds_config.store_shards = 4;
+    ds_config.seed = 6161 + s;
+    ds_config.collection =
+        s == 0 ? "fairds_samples" : "fairds_samples_s" + std::to_string(s);
+    streams.push_back(std::make_unique<fairds::FairDS>(ds_config, db));
+    streams.back()->train_system(history.xs);
+    streams.back()->ingest(history.xs, history.ys, "history");
+    stream_names.push_back(s == 0 ? service::kDefaultStreamName
+                                  : "s" + std::to_string(s));
+  }
+  fairds::FairDS& ds = *streams.front();
 
   fairms::ModelZoo zoo(db);
   for (std::size_t m = 0; m < 4; ++m) {
@@ -110,12 +133,21 @@ int main(int argc, char** argv) {
   }
   fairms::ModelManager manager(zoo, /*distance_threshold=*/1.0);
 
-  service::DataService service(ds,
-                               {.workers = workers,
-                                .store_shards = 4,
-                                .storage_engine = engine,
-                                .max_pending = max_pending},
-                               &manager);
+  service::DataService service({.workers = workers,
+                                .max_pending = max_pending});
+  for (std::size_t s = 0; s < n_streams; ++s) {
+    service::StreamConfig tenant;
+    tenant.retrain.auto_trigger = auto_retrain;
+    tenant.retrain.cooldown_seconds = auto_retrain ? 5.0 : 0.0;
+    tenant.retrain.min_new_samples = auto_retrain ? 64 : 0;
+    tenant.store_shards = 4;
+    tenant.storage_engine = engine;
+    if (!service.add_stream(stream_names[s], *streams[s], tenant, &manager)) {
+      std::fprintf(stderr, "serve: duplicate stream '%s'\n",
+                   stream_names[s].c_str());
+      return 1;
+    }
+  }
 
   // Server-side fallback labeler (code cannot travel on the wire): the
   // centroid stand-in for the conventional pseudo-Voigt fit.
@@ -150,9 +182,10 @@ int main(int argc, char** argv) {
 
   // Parsed by scripts (and humans): the bound port, then a READY marker.
   std::printf("serve: listening on 127.0.0.1:%u (workers %zu, max_pending "
-              "%zu, engine %s, model v%llu)\n",
+              "%zu, engine %s, streams %zu%s, model v%llu)\n",
               static_cast<unsigned>(server.port()), workers, max_pending,
-              ds.storage_engine(),
+              ds.storage_engine(), n_streams,
+              auto_retrain ? ", auto-retrain" : "",
               static_cast<unsigned long long>(ds.snapshot()->version()));
   std::printf("READY\n");
   std::fflush(stdout);

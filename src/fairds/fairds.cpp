@@ -183,14 +183,18 @@ double FairDS::certainty(const Tensor& xs) const {
 }
 
 bool FairDS::maybe_retrain(const Tensor& new_xs) {
+  return maybe_retrain(new_xs, config_.certainty_threshold);
+}
+
+bool FairDS::maybe_retrain(const Tensor& new_xs, double certainty_threshold) {
   util::MutexLock lock(system_mutex_);
   FAIRDMS_CHECK(embedder_ != nullptr,
                 "FairDS::maybe_retrain before train_system");
   const double c = certainty_locked(new_xs);
-  if (c >= config_.certainty_threshold) return false;
+  if (c >= certainty_threshold) return false;
   util::log_info("fairDS retrain triggered (certainty ",
                  static_cast<int>(c * 100.0), "% < ",
-                 static_cast<int>(config_.certainty_threshold * 100.0),
+                 static_cast<int>(certainty_threshold * 100.0),
                  "%)");
 
   // Retrain the system plane on history + the new data, then re-assign the

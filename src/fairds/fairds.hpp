@@ -101,6 +101,11 @@ class FairDS {
   /// snapshot, and return true. Concurrent queries keep running against
   /// the previous snapshot until the swap.
   bool maybe_retrain(const Tensor& new_xs);
+  /// Same check against an explicit threshold instead of the configured
+  /// one — the hook a per-stream RetrainPolicy (service layer) uses to
+  /// give each tenant its own trigger sensitivity over a shared FairDS
+  /// implementation. A threshold above 1.0 retrains unconditionally.
+  bool maybe_retrain(const Tensor& new_xs, double certainty_threshold);
 
   // --- user plane (lock-free snapshot wrappers) ----------------------------
 

@@ -17,9 +17,11 @@ bool Client::connect(const std::string& host, std::uint16_t port) {
     return false;
   }
   const auto reply = recv_matching(cid);
+  // The server acks min(our version, its version): equality means it will
+  // answer every frame we send in the layout we encode it with.
   if (!reply || reply->header.status != service::ServeStatus::kOk ||
       !decode_hello_ack(reply->payload, &limits_) ||
-      limits_.version != kProtocolVersion) {
+      limits_.version != version_) {
     close();
     return false;
   }
@@ -43,7 +45,7 @@ std::uint64_t Client::send_frame(Op op, const Bytes& payload) {
   if (!fd_.valid()) return 0;
   const std::uint64_t cid = next_cid_++;
   const Bytes frame =
-      encode_frame(op, service::ServeStatus::kOk, cid, payload);
+      encode_frame(op, service::ServeStatus::kOk, cid, payload, version_);
   if (!write_all(fd_.get(), frame.data(), frame.size())) {
     close();
     return 0;
@@ -52,22 +54,23 @@ std::uint64_t Client::send_frame(Op op, const Bytes& payload) {
 }
 
 std::uint64_t Client::send_label(const service::LabelRequest& request) {
-  return send_frame(Op::kLabel, encode_label_request(request));
+  return send_frame(Op::kLabel, encode_label_request(request, version_));
 }
 
 std::uint64_t Client::send_lookup(const service::LookupRequest& request) {
-  return send_frame(Op::kLookup, encode_lookup_request(request));
+  return send_frame(Op::kLookup, encode_lookup_request(request, version_));
 }
 
 std::uint64_t Client::send_recommend(
     const service::RecommendRequest& request) {
-  return send_frame(Op::kRecommend, encode_recommend_request(request));
+  return send_frame(Op::kRecommend,
+                    encode_recommend_request(request, version_));
 }
 
 std::uint64_t Client::send_stats() { return send_frame(Op::kStats, {}); }
 
-std::uint64_t Client::send_retrain(const tensor::Tensor& xs) {
-  return send_frame(Op::kRetrain, encode_retrain_request(xs));
+std::uint64_t Client::send_retrain(const service::RetrainRequest& request) {
+  return send_frame(Op::kRetrain, encode_retrain_request(request, version_));
 }
 
 bool Client::send_raw(const Bytes& bytes) {
@@ -88,7 +91,8 @@ std::optional<Client::Reply> Client::recv_reply() {
   }
   const auto header =
       decode_header(std::span<const std::uint8_t>(header_bytes, kHeaderSize));
-  if (!header || header->version != kProtocolVersion ||
+  // Replies always come back at the version the request was sent at.
+  if (!header || header->version != version_ ||
       header->payload_len > kDefaultMaxPayload) {
     close();
     return std::nullopt;
@@ -135,19 +139,21 @@ std::optional<Response> Client::roundtrip(
 std::optional<service::LabelResponse> Client::label(
     const service::LabelRequest& request) {
   return roundtrip<service::LabelResponse>(
-      Op::kLabel, encode_label_request(request), &decode_label_response);
+      Op::kLabel, encode_label_request(request, version_),
+      &decode_label_response);
 }
 
 std::optional<service::LookupResponse> Client::lookup(
     const service::LookupRequest& request) {
   return roundtrip<service::LookupResponse>(
-      Op::kLookup, encode_lookup_request(request), &decode_lookup_response);
+      Op::kLookup, encode_lookup_request(request, version_),
+      &decode_lookup_response);
 }
 
 std::optional<service::RecommendResponse> Client::recommend(
     const service::RecommendRequest& request) {
   return roundtrip<service::RecommendResponse>(
-      Op::kRecommend, encode_recommend_request(request),
+      Op::kRecommend, encode_recommend_request(request, version_),
       &decode_recommend_response);
 }
 
@@ -159,7 +165,7 @@ std::optional<service::ServiceStats> Client::stats() {
     return std::nullopt;
   }
   service::ServiceStats stats;
-  if (!decode_stats_response(reply->payload, &stats)) {
+  if (!decode_stats_response(reply->payload, &stats, version_)) {
     close();
     return std::nullopt;
   }
@@ -167,8 +173,8 @@ std::optional<service::ServiceStats> Client::stats() {
 }
 
 std::optional<bool> Client::request_retrain(
-    const tensor::Tensor& xs, service::ServeStatus* status_out) {
-  const std::uint64_t cid = send_retrain(xs);
+    const service::RetrainRequest& request, service::ServeStatus* status_out) {
+  const std::uint64_t cid = send_retrain(request);
   if (cid == 0) return std::nullopt;
   const auto reply = recv_matching(cid);
   if (!reply) return std::nullopt;

@@ -12,8 +12,13 @@
 //    This is how the closed-loop load generator keeps the server's
 //    admission queue full from a single connection.
 //
-// connect() performs the hello handshake and rejects a version-mismatched
-// server, so every later frame is known to be mutually intelligible.
+// connect() performs the hello handshake: the server acks
+// min(client, server) and the client requires the ack to equal its own
+// version, so every later frame is known to be mutually intelligible. A
+// Client constructed with version 1 therefore interoperates with a v2
+// server (the server answers its frames in the v1 layout and routes them
+// to the default stream); a v2 client against a v1-only server fails
+// connect() cleanly.
 // The client is single-connection and not thread-safe: one Client per
 // thread (or process — bench/net_workload.cpp forks around it).
 #pragma once
@@ -31,7 +36,10 @@ namespace fairdms::net {
 
 class Client {
  public:
-  Client() = default;
+  /// `version` is the protocol version every frame is sent at (the
+  /// cross-version tests construct v1 clients to talk to a v2 server).
+  explicit Client(std::uint16_t version = kProtocolVersion)
+      : version_(version) {}
   ~Client() = default;  // UniqueFd closes the socket
 
   Client(Client&&) = default;
@@ -51,6 +59,8 @@ class Client {
 
   /// What the server declared in its hello ack (valid after connect()).
   [[nodiscard]] const HelloAck& server_limits() const { return limits_; }
+  /// The version this client speaks (fixed at construction).
+  [[nodiscard]] std::uint16_t version() const { return version_; }
 
   // --- pipelined primitives ------------------------------------------------
 
@@ -65,7 +75,11 @@ class Client {
   std::uint64_t send_lookup(const service::LookupRequest& request);
   std::uint64_t send_recommend(const service::RecommendRequest& request);
   std::uint64_t send_stats();
-  std::uint64_t send_retrain(const tensor::Tensor& xs);
+  std::uint64_t send_retrain(const service::RetrainRequest& request);
+  /// Default-stream shorthand (the legacy call sites).
+  std::uint64_t send_retrain(const tensor::Tensor& xs) {
+    return send_retrain(service::RetrainRequest{xs, {}});
+  }
   /// Raw bytes straight onto the socket — the malformed-frame probes in the
   /// tests and load generator use this to impersonate a broken peer.
   bool send_raw(const Bytes& bytes);
@@ -94,8 +108,13 @@ class Client {
   /// (e.g. kShuttingDown) the result is false and `status_out` (optional)
   /// carries the wire status. nullopt on transport failure.
   std::optional<bool> request_retrain(
-      const tensor::Tensor& xs,
+      const service::RetrainRequest& request,
       service::ServeStatus* status_out = nullptr);
+  std::optional<bool> request_retrain(
+      const tensor::Tensor& xs,
+      service::ServeStatus* status_out = nullptr) {
+    return request_retrain(service::RetrainRequest{xs, {}}, status_out);
+  }
 
  private:
   std::uint64_t send_frame(Op op, const Bytes& payload);
@@ -109,6 +128,7 @@ class Client {
 
   UniqueFd fd_;
   HelloAck limits_;
+  std::uint16_t version_ = kProtocolVersion;
   std::uint64_t next_cid_ = 1;
 };
 

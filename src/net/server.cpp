@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -128,6 +129,7 @@ Server::Counters Server::counters() const {
   c.malformed_frames = malformed_frames_.load();
   c.shed_responses = shed_responses_.load();
   c.shutdown_responses = shutdown_responses_.load();
+  c.unknown_stream_responses = unknown_stream_responses_.load();
   return c;
 }
 
@@ -140,14 +142,16 @@ void Server::wake() {
 
 void Server::reply(const std::shared_ptr<Connection>& conn, Op op,
                    service::ServeStatus status, std::uint64_t correlation_id,
-                   const Bytes& payload) {
-  if (conn->enqueue(encode_frame(op, status, correlation_id, payload))) {
+                   const Bytes& payload, std::uint16_t version) {
+  if (conn->enqueue(
+          encode_frame(op, status, correlation_id, payload, version))) {
     frames_out_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
-bool Server::valid_batch_shape(const tensor::Tensor& xs) const {
-  const auto snap = service_->snapshot();
+bool Server::valid_batch_shape(const tensor::Tensor& xs,
+                               const std::string& stream) const {
+  const auto snap = service_->snapshot(stream);
   if (snap == nullptr) return false;
   return xs.rank() == 4 && xs.dim(0) >= 1 && xs.dim(1) == 1 &&
          xs.dim(2) == snap->image_size() && xs.dim(3) == snap->image_size();
@@ -155,7 +159,7 @@ bool Server::valid_batch_shape(const tensor::Tensor& xs) const {
 
 template <typename Response>
 void Server::finish(const std::shared_ptr<Connection>& conn, Op op,
-                    std::uint64_t correlation_id,
+                    std::uint64_t correlation_id, std::uint16_t version,
                     std::future<Response> future,
                     Bytes (*encoder)(const Response&)) {
   // Shed futures are ready at dispatch: answer them from the event loop so
@@ -167,49 +171,75 @@ void Server::finish(const std::shared_ptr<Connection>& conn, Op op,
     if (response.status == service::ServeStatus::kShedOverload) {
       shed_responses_.fetch_add(1, std::memory_order_relaxed);
     }
-    reply(conn, op, response.status, correlation_id, encoder(response));
+    reply(conn, op, response.status, correlation_id, encoder(response),
+          version);
     return;
   }
   outstanding_.fetch_add(1, std::memory_order_acq_rel);
   auto shared = std::make_shared<std::future<Response>>(std::move(future));
-  completers_.submit([this, conn, op, correlation_id, shared, encoder] {
-    const Response response = shared->get();
-    reply(conn, op, response.status, correlation_id, encoder(response));
-    outstanding_.fetch_sub(1, std::memory_order_acq_rel);
-    wake();
-  });
+  completers_.submit(
+      [this, conn, op, correlation_id, version, shared, encoder] {
+        const Response response = shared->get();
+        reply(conn, op, response.status, correlation_id, encoder(response),
+              version);
+        outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+        wake();
+      });
 }
 
 bool Server::handle_frame(const std::shared_ptr<Connection>& conn,
                           const FrameHeader& header,
                           std::span<const std::uint8_t> payload) {
   const std::uint64_t cid = header.correlation_id;
+  // drain_input validated the version range; every reply (and every
+  // versioned payload in it) is encoded at the request frame's version.
+  const std::uint16_t ver = header.version;
   const auto op = static_cast<Op>(header.op);
   const auto malformed = [&] {
     malformed_frames_.fetch_add(1, std::memory_order_relaxed);
-    reply(conn, op, service::ServeStatus::kMalformedRequest, cid, {});
+    reply(conn, op, service::ServeStatus::kMalformedRequest, cid, {}, ver);
   };
   const auto shutting_down = [&] {
     shutdown_responses_.fetch_add(1, std::memory_order_relaxed);
-    reply(conn, op, service::ServeStatus::kShuttingDown, cid, {});
+    reply(conn, op, service::ServeStatus::kShuttingDown, cid, {}, ver);
+  };
+  // Stream resolution comes before shape validation: an unregistered name
+  // has no snapshot to validate against, and it deserves the structured
+  // kUnknownStream answer, not kMalformedRequest. The connection stays
+  // usable either way.
+  const auto unknown_stream = [&] {
+    unknown_stream_responses_.fetch_add(1, std::memory_order_relaxed);
+    reply(conn, op, service::ServeStatus::kUnknownStream, cid, {}, ver);
   };
   const bool draining = draining_.load(std::memory_order_acquire);
 
   switch (op) {
     case Op::kHello: {
+      // Negotiate down, never up: an old client keeps speaking its own
+      // version and the server answers every frame in kind.
+      const std::uint16_t ack = std::min(ver, kProtocolVersion);
       reply(conn, Op::kHello, service::ServeStatus::kOk, cid,
-            encode_hello_ack({kProtocolVersion, config_.max_payload}));
+            encode_hello_ack({ack, config_.max_payload}), ver);
       return true;
     }
     case Op::kStats: {
       // Observability stays up during a drain so operators can watch it.
+      // v1 peers get the aggregate body; v2 adds the per-stream blocks.
       reply(conn, Op::kStats, service::ServeStatus::kOk, cid,
-            encode_stats_response(service_->stats()));
+            encode_stats_response(service_->stats(), ver), ver);
       return true;
     }
     case Op::kRetrain: {
-      tensor::Tensor xs;
-      if (!decode_retrain_request(payload, &xs) || !valid_batch_shape(xs)) {
+      service::RetrainRequest request;
+      if (!decode_retrain_request(payload, &request, ver)) {
+        malformed();
+        return true;
+      }
+      if (!service_->has_stream(request.stream)) {
+        unknown_stream();
+        return true;
+      }
+      if (!valid_batch_shape(request.xs, request.stream)) {
         malformed();
         return true;
       }
@@ -218,14 +248,23 @@ bool Server::handle_frame(const std::shared_ptr<Connection>& conn,
         return true;
       }
       reply(conn, Op::kRetrain, service::ServeStatus::kOk, cid,
-            encode_retrain_response(service_->request_retrain(xs)));
+            encode_retrain_response(
+                service_->request_retrain(request.stream, request.xs)),
+            ver);
       return true;
     }
     case Op::kLabel: {
       service::LabelRequest request;
-      if (!decode_label_request(payload, &request) ||
-          !valid_batch_shape(request.xs) ||
+      if (!decode_label_request(payload, &request, ver) ||
           config_.fallback_labeler == nullptr) {
+        malformed();
+        return true;
+      }
+      if (!service_->has_stream(request.stream)) {
+        unknown_stream();
+        return true;
+      }
+      if (!valid_batch_shape(request.xs, request.stream)) {
         malformed();
         return true;
       }
@@ -234,14 +273,21 @@ bool Server::handle_frame(const std::shared_ptr<Connection>& conn,
         return true;
       }
       request.fallback_labeler = config_.fallback_labeler;
-      finish(conn, Op::kLabel, cid, service_->submit(std::move(request)),
-             &encode_label_response);
+      finish(conn, Op::kLabel, cid, ver,
+             service_->submit(std::move(request)), &encode_label_response);
       return true;
     }
     case Op::kLookup: {
       service::LookupRequest request;
-      if (!decode_lookup_request(payload, &request) ||
-          !valid_batch_shape(request.xs)) {
+      if (!decode_lookup_request(payload, &request, ver)) {
+        malformed();
+        return true;
+      }
+      if (!service_->has_stream(request.stream)) {
+        unknown_stream();
+        return true;
+      }
+      if (!valid_batch_shape(request.xs, request.stream)) {
         malformed();
         return true;
       }
@@ -249,14 +295,22 @@ bool Server::handle_frame(const std::shared_ptr<Connection>& conn,
         shutting_down();
         return true;
       }
-      finish(conn, Op::kLookup, cid, service_->submit(std::move(request)),
-             &encode_lookup_response);
+      finish(conn, Op::kLookup, cid, ver,
+             service_->submit(std::move(request)), &encode_lookup_response);
       return true;
     }
     case Op::kRecommend: {
       service::RecommendRequest request;
-      if (!decode_recommend_request(payload, &request) ||
-          !valid_batch_shape(request.xs) || !service_->has_model_manager()) {
+      if (!decode_recommend_request(payload, &request, ver)) {
+        malformed();
+        return true;
+      }
+      if (!service_->has_stream(request.stream)) {
+        unknown_stream();
+        return true;
+      }
+      if (!valid_batch_shape(request.xs, request.stream) ||
+          !service_->has_model_manager(request.stream)) {
         malformed();
         return true;
       }
@@ -264,7 +318,7 @@ bool Server::handle_frame(const std::shared_ptr<Connection>& conn,
         shutting_down();
         return true;
       }
-      finish(conn, Op::kRecommend, cid,
+      finish(conn, Op::kRecommend, cid, ver,
              service_->submit(std::move(request)),
              &encode_recommend_response);
       return true;
@@ -291,15 +345,16 @@ bool Server::drain_input(const std::shared_ptr<Connection>& conn) {
       keep = false;
       break;
     }
-    if (header->version != kProtocolVersion ||
+    if (header->version < kMinProtocolVersion ||
+        header->version > kProtocolVersion ||
         header->payload_len > config_.max_payload) {
       // The envelope parsed, so an error reply reaches the right request —
-      // but a wrong-version peer misreads every subsequent byte and an
-      // over-cap payload will never be buffered: close after the reply.
+      // but an unsupported-version peer misreads every subsequent byte and
+      // an over-cap payload will never be buffered: close after the reply.
       malformed_frames_.fetch_add(1, std::memory_order_relaxed);
       reply(conn, static_cast<Op>(header->op),
             service::ServeStatus::kMalformedRequest, header->correlation_id,
-            {});
+            {}, std::min(header->version, kProtocolVersion));
       keep = false;
       break;
     }

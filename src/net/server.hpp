@@ -18,14 +18,23 @@
 // Protocol discipline (see net/wire.hpp for the frame format):
 //  * Admission sheds map to ServeStatus::kShedOverload in the response
 //    header — never to a dropped connection or a silent stall.
+//  * Version negotiation is per-frame: the server answers every version in
+//    [kMinProtocolVersion, kProtocolVersion], encoding each reply at the
+//    version of the frame it answers. A v1 frame names no stream and
+//    routes to the default stream; hello acks min(peer, kProtocolVersion),
+//    so an old client and a new server agree on v1 without either side
+//    special-casing.
+//  * A request naming an unregistered stream is answered with
+//    ServeStatus::kUnknownStream on a connection that stays usable — a
+//    structured answer, exactly like a shed, never a disconnect.
 //  * A malformed frame with a trustworthy envelope (known framing, bad
 //    content: unknown op, undecodable payload, wrong tensor shape) is
 //    answered with kMalformedRequest and the connection stays usable. A
 //    frame that breaks the framing itself (bad magic) or that the server
-//    refuses to buffer (declared payload over the cap) or speaks the wrong
-//    protocol version closes the connection cleanly — after an error
-//    frame wherever the header could still be parsed. The server never
-//    crashes on peer-controlled bytes.
+//    refuses to buffer (declared payload over the cap) or speaks a
+//    protocol version outside the supported range closes the connection
+//    cleanly — after an error frame wherever the header could still be
+//    parsed. The server never crashes on peer-controlled bytes.
 //  * begin_drain()/stop() implement graceful shutdown: draining answers
 //    new user-plane requests with kShuttingDown while in-flight requests
 //    complete and every buffered response is flushed (bounded by a grace
@@ -100,6 +109,7 @@ class Server {
     std::uint64_t malformed_frames = 0;
     std::uint64_t shed_responses = 0;      ///< kShedOverload sent
     std::uint64_t shutdown_responses = 0;  ///< kShuttingDown sent
+    std::uint64_t unknown_stream_responses = 0;  ///< kUnknownStream sent
   };
   [[nodiscard]] Counters counters() const;
 
@@ -114,17 +124,22 @@ class Server {
   bool handle_frame(const std::shared_ptr<Connection>& conn,
                     const FrameHeader& header,
                     std::span<const std::uint8_t> payload);
-  /// [N, 1, S, S] with N >= 1 and S the served snapshot's image size —
-  /// the shape contract every tensor endpoint enforces on untrusted input
-  /// before the request can reach an invariant-checked service path.
-  [[nodiscard]] bool valid_batch_shape(const tensor::Tensor& xs) const;
+  /// [N, 1, S, S] with N >= 1 and S the *target stream's* snapshot image
+  /// size — the shape contract every tensor endpoint enforces on untrusted
+  /// input before the request can reach an invariant-checked service path.
+  /// Per-stream, because tenants may serve different image sizes.
+  [[nodiscard]] bool valid_batch_shape(const tensor::Tensor& xs,
+                                       const std::string& stream) const;
 
+  /// `version` stamps the reply header (and must match how `payload` was
+  /// encoded): always the version of the request frame being answered.
   void reply(const std::shared_ptr<Connection>& conn, Op op,
              service::ServeStatus status, std::uint64_t correlation_id,
-             const Bytes& payload);
+             const Bytes& payload, std::uint16_t version);
   template <typename Response>
   void finish(const std::shared_ptr<Connection>& conn, Op op,
-              std::uint64_t correlation_id, std::future<Response> future,
+              std::uint64_t correlation_id, std::uint16_t version,
+              std::future<Response> future,
               Bytes (*encoder)(const Response&));
   void wake();
 
@@ -147,6 +162,7 @@ class Server {
   std::atomic<std::uint64_t> malformed_frames_{0};
   std::atomic<std::uint64_t> shed_responses_{0};
   std::atomic<std::uint64_t> shutdown_responses_{0};
+  std::atomic<std::uint64_t> unknown_stream_responses_{0};
 
   /// Owned by the event-loop thread exclusively.
   std::vector<std::shared_ptr<Connection>> connections_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <thread>
+#include <unordered_set>
 #include <utility>
 
 #include "util/check.hpp"
@@ -17,206 +18,417 @@ std::size_t worker_count_for(std::size_t configured) {
       2, static_cast<std::size_t>(std::thread::hardware_concurrency()));
 }
 
-/// Already-satisfied future carrying the documented rejection response:
-/// default payload, ServeStatus::kShedOverload. The shed path allocates no
-/// request copy and touches no snapshot — O(1) on the submitter's thread.
+/// Already-satisfied future carrying a rejection response: default payload,
+/// the given status (kShedOverload / kUnknownStream). The rejection path
+/// allocates no request copy and touches no snapshot — O(1) on the
+/// submitter's thread.
 template <typename Response>
-std::future<Response> shed_future() {
+std::future<Response> rejected_future(ServeStatus status) {
   std::promise<Response> promise;
   Response response;
-  response.status = ServeStatus::kShedOverload;
+  response.status = status;
   promise.set_value(std::move(response));
   return promise.get_future();
 }
 
+/// Lock-free monotonic max for the queue-depth high-water marks.
+void cas_max(std::atomic<std::uint64_t>& mark, std::uint64_t value) {
+  std::uint64_t seen = mark.load(std::memory_order_relaxed);
+  while (seen < value &&
+         !mark.compare_exchange_weak(seen, value, std::memory_order_acq_rel)) {
+  }
+}
+
+StreamConfig default_stream_config(const DataServiceConfig& config) {
+  StreamConfig out;
+  out.retrain.auto_trigger = config.auto_retrain;
+  out.store_shards = config.store_shards;
+  out.storage_engine = config.storage_engine;
+  out.model_cache_bytes = config.model_cache_bytes;
+  return out;
+}
+
 }  // namespace
+
+DataService::DataService(DataServiceConfig config)
+    : config_(std::move(config)),
+      workers_(worker_count_for(config_.workers), config_.max_pending) {}
 
 DataService::DataService(fairds::FairDS& ds, DataServiceConfig config,
                          const fairms::ModelManager* manager)
-    : ds_(&ds),
-      config_(config),
-      manager_(manager),
-      workers_(worker_count_for(config.workers), config.max_pending),
-      system_(1) {
-  FAIRDMS_CHECK(config_.store_shards == 0 ||
-                    config_.store_shards == ds.store_shards(),
-                "DataService: configured store_shards ", config_.store_shards,
-                " != sample collection's ", ds.store_shards());
-  FAIRDMS_CHECK(config_.storage_engine.empty() ||
-                    config_.storage_engine == ds.storage_engine(),
-                "DataService: configured storage_engine '",
-                config_.storage_engine, "' != sample collection's '",
-                ds.storage_engine(), "'");
-  FAIRDMS_CHECK(config_.model_cache_bytes == 0 || manager_ != nullptr,
-                "DataService: model_cache_bytes configured without a "
-                "ModelManager to apply it to");
-  if (config_.model_cache_bytes != 0) {
-    manager_->zoo().cache().set_budget(config_.model_cache_bytes);
-  }
+    : DataService(config) {
+  const bool added =
+      add_stream(kDefaultStreamName, ds, default_stream_config(config_),
+                 manager);
+  FAIRDMS_CHECK(added, "DataService: default stream registration failed");
 }
 
 DataService::~DataService() { wait_idle(); }
 
-void DataService::record_request(double seconds) {
-  util::MutexLock lock(stats_mutex_);
-  stats_.busy_seconds += seconds;
-  stats_.max_request_seconds = std::max(stats_.max_request_seconds, seconds);
+bool DataService::add_stream(const std::string& name, fairds::FairDS& ds,
+                             StreamConfig config,
+                             const fairms::ModelManager* manager) {
+  return registry_.add(name, ds, std::move(config), manager);
 }
 
-void DataService::note_admitted() {
-  const std::uint64_t depth = workers_.queue_depth();
-  util::MutexLock lock(stats_mutex_);
-  stats_.max_queue_depth = std::max(stats_.max_queue_depth, depth);
+bool DataService::has_stream(const std::string& name) const {
+  return registry_.find(name) != nullptr;
+}
+
+std::vector<std::string> DataService::stream_names() const {
+  std::vector<std::string> out;
+  for (const auto& stream : registry_.all()) out.push_back(stream->name);
+  return out;
+}
+
+std::shared_ptr<const fairds::Snapshot> DataService::snapshot(
+    const std::string& stream) const {
+  const auto s = registry_.find(stream);
+  return s != nullptr ? s->ds->snapshot() : nullptr;
+}
+
+bool DataService::has_model_manager(const std::string& stream) const {
+  const auto s = registry_.find(stream);
+  return s != nullptr && s->manager != nullptr;
+}
+
+bool DataService::reserve_pending(Stream& stream) {
+  const std::uint64_t bound = stream.config.max_pending;
+  std::uint64_t seen = stream.pending.load(std::memory_order_relaxed);
+  for (;;) {
+    if (bound != 0 && seen >= bound) return false;
+    if (stream.pending.compare_exchange_weak(seen, seen + 1,
+                                             std::memory_order_acq_rel)) {
+      cas_max(stream.max_pending_seen, seen + 1);
+      return true;
+    }
+  }
+}
+
+void DataService::note_admitted(Stream& stream) {
+  (void)stream;  // the per-stream mark was folded in by reserve_pending
+  cas_max(max_queue_depth_, workers_.queue_depth());
 }
 
 std::future<LabelResponse> DataService::submit(LabelRequest request) {
   FAIRDMS_CHECK(request.fallback_labeler != nullptr,
                 "LabelRequest without a fallback labeler");
+  auto stream = registry_.find(request.stream);
+  if (stream == nullptr) {
+    unknown_stream_requests_.fetch_add(1, std::memory_order_relaxed);
+    return rejected_future<LabelResponse>(ServeStatus::kUnknownStream);
+  }
   {
-    util::MutexLock lock(stats_mutex_);
-    ++stats_.label_requests;
+    util::MutexLock lock(stream->stats_mutex);
+    ++stream->counters.label_requests;
+  }
+  if (!reserve_pending(*stream)) {
+    util::MutexLock lock(stream->stats_mutex);
+    ++stream->counters.label_shed;
+    return rejected_future<LabelResponse>(ServeStatus::kShedOverload);
   }
   auto req = std::make_shared<LabelRequest>(std::move(request));
-  auto admitted = workers_.try_async([this, req] {
+  auto admitted = workers_.try_async([this, stream, req] {
+    stream->pending.fetch_sub(1, std::memory_order_acq_rel);
     util::WallTimer timer;
-    const auto snap = ds_->snapshot();
-    FAIRDMS_CHECK(snap != nullptr, "DataService: FairDS not trained");
+    const auto snap = stream->ds->snapshot();
+    FAIRDMS_CHECK(snap != nullptr, "DataService: stream '", stream->name,
+                  "' not trained");
     LabelResponse response;
     response.batch = snap->lookup_or_label(
         req->xs, req->threshold, req->fallback_labeler, &response.reuse);
     response.snapshot_version = snap->version();
     response.seconds = timer.seconds();
     {
-      util::MutexLock lock(stats_mutex_);
-      ++stats_.label_answered;
-      stats_.samples_labeled += req->xs.dim(0);
-      stats_.labels_reused += response.reuse.reused;
-      stats_.labels_computed += response.reuse.computed;
+      util::MutexLock lock(stream->stats_mutex);
+      ++stream->counters.label_answered;
+      stream->counters.samples_labeled += req->xs.dim(0);
+      stream->counters.labels_reused += response.reuse.reused;
+      stream->counters.labels_computed += response.reuse.computed;
+      stream->counters.busy_seconds += response.seconds;
+      stream->counters.max_request_seconds =
+          std::max(stream->counters.max_request_seconds, response.seconds);
     }
-    record_request(response.seconds);
     // Serving-side Fig. 16 policy: the data just labeled doubles as the
-    // drift probe. Coalesced inside request_retrain.
-    if (config_.auto_retrain) request_retrain(req->xs);
+    // drift probe, gated by this stream's RetrainPolicy.
+    maybe_auto_retrain(stream, req->xs);
     return response;
   });
   if (!admitted) {
-    util::MutexLock lock(stats_mutex_);
-    ++stats_.label_shed;
-    return shed_future<LabelResponse>();
+    stream->pending.fetch_sub(1, std::memory_order_acq_rel);
+    util::MutexLock lock(stream->stats_mutex);
+    ++stream->counters.label_shed;
+    return rejected_future<LabelResponse>(ServeStatus::kShedOverload);
   }
-  note_admitted();
+  note_admitted(*stream);
   return std::move(*admitted);
 }
 
 std::future<LookupResponse> DataService::submit(LookupRequest request) {
+  auto stream = registry_.find(request.stream);
+  if (stream == nullptr) {
+    unknown_stream_requests_.fetch_add(1, std::memory_order_relaxed);
+    return rejected_future<LookupResponse>(ServeStatus::kUnknownStream);
+  }
   {
-    util::MutexLock lock(stats_mutex_);
-    ++stats_.lookup_requests;
+    util::MutexLock lock(stream->stats_mutex);
+    ++stream->counters.lookup_requests;
+  }
+  if (!reserve_pending(*stream)) {
+    util::MutexLock lock(stream->stats_mutex);
+    ++stream->counters.lookup_shed;
+    return rejected_future<LookupResponse>(ServeStatus::kShedOverload);
   }
   auto req = std::make_shared<LookupRequest>(std::move(request));
-  auto admitted = workers_.try_async([this, req] {
+  auto admitted = workers_.try_async([this, stream, req] {
+    stream->pending.fetch_sub(1, std::memory_order_acq_rel);
     util::WallTimer timer;
-    const auto snap = ds_->snapshot();
-    FAIRDMS_CHECK(snap != nullptr, "DataService: FairDS not trained");
+    const auto snap = stream->ds->snapshot();
+    FAIRDMS_CHECK(snap != nullptr, "DataService: stream '", stream->name,
+                  "' not trained");
     LookupResponse response;
     response.batch = snap->lookup(req->xs, req->seed);
     response.snapshot_version = snap->version();
     response.seconds = timer.seconds();
     {
-      util::MutexLock lock(stats_mutex_);
-      ++stats_.lookup_answered;
+      util::MutexLock lock(stream->stats_mutex);
+      ++stream->counters.lookup_answered;
+      stream->counters.busy_seconds += response.seconds;
+      stream->counters.max_request_seconds =
+          std::max(stream->counters.max_request_seconds, response.seconds);
     }
-    record_request(response.seconds);
     return response;
   });
   if (!admitted) {
-    util::MutexLock lock(stats_mutex_);
-    ++stats_.lookup_shed;
-    return shed_future<LookupResponse>();
+    stream->pending.fetch_sub(1, std::memory_order_acq_rel);
+    util::MutexLock lock(stream->stats_mutex);
+    ++stream->counters.lookup_shed;
+    return rejected_future<LookupResponse>(ServeStatus::kShedOverload);
   }
-  note_admitted();
+  note_admitted(*stream);
   return std::move(*admitted);
 }
 
 std::future<RecommendResponse> DataService::submit(RecommendRequest request) {
-  FAIRDMS_CHECK(manager_ != nullptr,
-                "RecommendRequest on a DataService without a ModelManager");
+  auto stream = registry_.find(request.stream);
+  if (stream == nullptr) {
+    unknown_stream_requests_.fetch_add(1, std::memory_order_relaxed);
+    return rejected_future<RecommendResponse>(ServeStatus::kUnknownStream);
+  }
+  FAIRDMS_CHECK(stream->manager != nullptr, "RecommendRequest on stream '",
+                stream->name, "' without a ModelManager");
   {
-    util::MutexLock lock(stats_mutex_);
-    ++stats_.recommend_requests;
+    util::MutexLock lock(stream->stats_mutex);
+    ++stream->counters.recommend_requests;
+  }
+  if (!reserve_pending(*stream)) {
+    util::MutexLock lock(stream->stats_mutex);
+    ++stream->counters.recommend_shed;
+    return rejected_future<RecommendResponse>(ServeStatus::kShedOverload);
   }
   auto req = std::make_shared<RecommendRequest>(std::move(request));
-  auto admitted = workers_.try_async([this, req] {
+  auto admitted = workers_.try_async([this, stream, req] {
+    stream->pending.fetch_sub(1, std::memory_order_acq_rel);
     util::WallTimer timer;
-    const auto snap = ds_->snapshot();
-    FAIRDMS_CHECK(snap != nullptr, "DataService: FairDS not trained");
+    const auto snap = stream->ds->snapshot();
+    FAIRDMS_CHECK(snap != nullptr, "DataService: stream '", stream->name,
+                  "' not trained");
     RecommendResponse response;
     response.pdf = snap->distribution(req->xs);
-    response.pick = manager_->recommend(req->architecture, response.pdf);
+    response.pick = stream->manager->recommend(req->architecture, response.pdf);
     response.snapshot_version = snap->version();
     response.seconds = timer.seconds();
     {
-      util::MutexLock lock(stats_mutex_);
-      ++stats_.recommend_answered;
+      util::MutexLock lock(stream->stats_mutex);
+      ++stream->counters.recommend_answered;
+      stream->counters.busy_seconds += response.seconds;
+      stream->counters.max_request_seconds =
+          std::max(stream->counters.max_request_seconds, response.seconds);
     }
-    record_request(response.seconds);
     return response;
   });
   if (!admitted) {
-    util::MutexLock lock(stats_mutex_);
-    ++stats_.recommend_shed;
-    return shed_future<RecommendResponse>();
+    stream->pending.fetch_sub(1, std::memory_order_acq_rel);
+    util::MutexLock lock(stream->stats_mutex);
+    ++stream->counters.recommend_shed;
+    return rejected_future<RecommendResponse>(ServeStatus::kShedOverload);
   }
-  note_admitted();
+  note_admitted(*stream);
   return std::move(*admitted);
 }
 
-bool DataService::request_retrain(const Tensor& xs) {
-  bool expected = false;
-  if (!system_busy_.compare_exchange_strong(expected, true,
-                                            std::memory_order_acq_rel)) {
-    // One check in flight answers the question; coalesce. Counted so a
-    // retrain storm shows up in the stats.
-    util::MutexLock lock(stats_mutex_);
-    ++stats_.retrains_coalesced;
+void DataService::maybe_auto_retrain(const std::shared_ptr<Stream>& stream,
+                                     const Tensor& xs) {
+  const RetrainPolicy& policy = stream->config.retrain;
+  if (!policy.auto_trigger) return;
+  {
+    util::MutexLock lock(stream->stats_mutex);
+    stream->samples_since_trigger += xs.dim(0);
+    if (stream->samples_since_trigger < policy.min_new_samples) return;
+    if (policy.cooldown_seconds > 0.0 && stream->ever_retrained) {
+      const double since =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        stream->last_retrain_done)
+              .count();
+      if (since < policy.cooldown_seconds) {
+        ++stream->counters.policy_cooldown_skips;
+        return;
+      }
+    }
+  }
+  if (request_retrain_on(stream, xs)) {
+    // The new-sample budget is spent only when a check actually enqueued;
+    // coalesced/capped attempts keep accumulating toward the next one.
+    util::MutexLock lock(stream->stats_mutex);
+    stream->samples_since_trigger = 0;
+  }
+}
+
+bool DataService::request_retrain(const std::string& stream_name,
+                                  const Tensor& xs) {
+  auto stream = registry_.find(stream_name);
+  if (stream == nullptr) {
+    unknown_stream_requests_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
-  // Copy only after winning the coalescing race: dropped requests (the
-  // steady state while a retrain runs) cost no allocation.
-  system_.submit([this, xs] {
-    const bool retrained = ds_->maybe_retrain(xs);
-    {
-      util::MutexLock lock(stats_mutex_);
-      ++stats_.retrain_checks;
-      if (retrained) ++stats_.retrains;
+  return request_retrain_on(stream, xs);
+}
+
+bool DataService::request_retrain_on(const std::shared_ptr<Stream>& stream,
+                                     const Tensor& xs) {
+  bool expected = false;
+  if (!stream->system_busy.compare_exchange_strong(
+          expected, true, std::memory_order_acq_rel)) {
+    // One check in flight answers the question; coalesce. Counted so a
+    // retrain storm shows up in the stats.
+    util::MutexLock lock(stream->stats_mutex);
+    ++stream->counters.retrains_coalesced;
+    return false;
+  }
+  if (config_.max_concurrent_retrains != 0) {
+    std::size_t seen = retrains_in_flight_.load(std::memory_order_acquire);
+    for (;;) {
+      if (seen >= config_.max_concurrent_retrains) {
+        stream->system_busy.store(false, std::memory_order_release);
+        util::MutexLock lock(stream->stats_mutex);
+        ++stream->counters.retrains_capped;
+        return false;
+      }
+      if (retrains_in_flight_.compare_exchange_weak(
+              seen, seen + 1, std::memory_order_acq_rel)) {
+        break;
+      }
     }
-    system_busy_.store(false, std::memory_order_release);
+  }
+  // Copy only after winning the coalescing race and the global cap:
+  // dropped requests (the steady state during a storm) cost no allocation.
+  // Captured as a raw pointer on purpose: a worker destroys its task
+  // object *after* signaling idle, so an owning capture could drop the
+  // last Stream reference on the stream's own executor thread — ~Stream
+  // would then self-join that thread. The raw pointer stays valid because
+  // the registry never removes streams and ~Stream joins this executor
+  // before anything the task touches is destroyed.
+  Stream* const s = stream.get();
+  const double threshold = s->config.retrain.certainty_threshold;
+  s->retrain_executor.submit([this, s, xs, threshold] {
+    const bool retrained = threshold > 0.0
+                               ? s->ds->maybe_retrain(xs, threshold)
+                               : s->ds->maybe_retrain(xs);
+    {
+      util::MutexLock lock(s->stats_mutex);
+      ++s->counters.retrain_checks;
+      if (retrained) {
+        ++s->counters.retrains;
+        s->ever_retrained = true;
+        s->last_retrain_done = std::chrono::steady_clock::now();
+      }
+    }
+    if (config_.max_concurrent_retrains != 0) {
+      retrains_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    s->system_busy.store(false, std::memory_order_release);
   });
   return true;
 }
 
+bool DataService::retrain_in_flight() const {
+  for (const auto& stream : registry_.all()) {
+    if (stream->system_busy.load(std::memory_order_acquire)) return true;
+  }
+  return false;
+}
+
+bool DataService::retrain_in_flight(const std::string& stream_name) const {
+  const auto stream = registry_.find(stream_name);
+  return stream != nullptr &&
+         stream->system_busy.load(std::memory_order_acquire);
+}
+
 void DataService::wait_idle() {
   // User-plane tasks may enqueue system-plane checks, never the reverse,
-  // so draining in this order reaches a true fixed point.
+  // so draining workers first then every stream's executor reaches a true
+  // fixed point.
   workers_.wait_idle();
-  system_.wait_idle();
+  for (const auto& stream : registry_.all()) {
+    stream->retrain_executor.wait_idle();
+  }
+}
+
+StreamStats DataService::stream_stats(const std::string& stream_name) const {
+  const auto stream = registry_.find(stream_name);
+  return stream != nullptr ? stream->stats() : StreamStats{};
 }
 
 ServiceStats DataService::stats() const {
-  // Read the gauge before taking stats_mutex_: queue_depth() takes the
-  // pool's own mutex and lock order must stay acyclic.
-  const std::uint64_t depth = workers_.queue_depth();
-  util::MutexLock lock(stats_mutex_);
-  ServiceStats out = stats_;
-  out.queue_depth = depth;
+  ServiceStats out;
+  // Pool gauge before any stats mutex: lock order must stay acyclic.
+  out.queue_depth = workers_.queue_depth();
+  out.max_queue_depth = max_queue_depth_.load(std::memory_order_acquire);
   out.max_pending = config_.max_pending;
-  out.store_shards = ds_->store_shards();
-  if (manager_ != nullptr) {
-    const auto cache = manager_->zoo().cache().stats();
-    out.model_cache_hits = cache.hits;
-    out.model_cache_misses = cache.misses;
-    out.model_cache_evictions = cache.evictions;
-    out.model_cache_bytes = cache.resident_bytes;
+  out.unknown_stream_requests =
+      unknown_stream_requests_.load(std::memory_order_relaxed);
+
+  // Per-stream snapshots taken one at a time (never two stats mutexes at
+  // once), then summed — the reconciliation invariant is structural.
+  std::unordered_set<const fairms::ModelManager*> managers;
+  const auto streams = registry_.all();
+  out.streams.reserve(streams.size());
+  for (const auto& stream : streams) {
+    StreamStats s = stream->stats();
+    out.label_requests += s.label_requests;
+    out.lookup_requests += s.lookup_requests;
+    out.recommend_requests += s.recommend_requests;
+    out.label_answered += s.label_answered;
+    out.lookup_answered += s.lookup_answered;
+    out.recommend_answered += s.recommend_answered;
+    out.label_shed += s.label_shed;
+    out.lookup_shed += s.lookup_shed;
+    out.recommend_shed += s.recommend_shed;
+    out.samples_labeled += s.samples_labeled;
+    out.labels_reused += s.labels_reused;
+    out.labels_computed += s.labels_computed;
+    out.busy_seconds += s.busy_seconds;
+    out.max_request_seconds =
+        std::max(out.max_request_seconds, s.max_request_seconds);
+    out.retrain_checks += s.retrain_checks;
+    out.retrains += s.retrains;
+    out.retrains_coalesced += s.retrains_coalesced;
+    out.retrains_capped += s.retrains_capped;
+    out.policy_cooldown_skips += s.policy_cooldown_skips;
+    if (stream->name == kDefaultStreamName || streams.size() == 1) {
+      out.store_shards = s.store_shards;
+    }
+    if (stream->manager != nullptr) managers.insert(stream->manager);
+    out.streams.push_back(std::move(s));
+  }
+  // Model-plane cache gauges, deduplicated by manager so tenants sharing
+  // one zoo are not double-counted.
+  for (const fairms::ModelManager* manager : managers) {
+    const auto cache = manager->zoo().cache().stats();
+    out.model_cache_hits += cache.hits;
+    out.model_cache_misses += cache.misses;
+    out.model_cache_evictions += cache.evictions;
+    out.model_cache_bytes += cache.resident_bytes;
   }
   return out;
 }

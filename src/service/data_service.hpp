@@ -1,36 +1,51 @@
-// DataService — the multi-client serving facade over fairDS (the ROADMAP's
-// "heavy traffic from many clients" north star, and the serving framing of
-// the FAIR-models follow-up, arXiv:2207.00611).
+// DataService — the multi-client, multi-stream serving facade over fairDS
+// (the ROADMAP's "heavy traffic from many clients" north star, and the
+// serving framing of the FAIR-models follow-up, arXiv:2207.00611).
 //
-// Two planes, two executors:
-//  * User plane: submit() enqueues label / lookup / recommend requests on a
-//    worker pool and returns a std::future. Each request loads the current
-//    immutable model snapshot and runs lock-free against it, so N clients
-//    get real concurrency and consistent per-request model versions.
-//    Admission control (DataServiceConfig::max_pending) bounds the pending
-//    queue: at the bound, submit() sheds the request with an immediately
-//    ready ServeStatus::kShedOverload response instead of queueing — the
-//    mixed-workload policy that keeps an ingest burst or retrain storm
-//    from growing an unbounded future backlog (bench/mixed_workload.cpp
-//    is the driver that stresses exactly this).
-//  * System plane: retrain checks run on a dedicated single-thread executor.
-//    request_retrain() (or the auto-retrain policy) enqueues a certainty
-//    check + conditional retrain that builds the next snapshot off to the
-//    side; queries never block on it and keep being served by the previous
-//    snapshot until the atomic publish. At most one system-plane check is
-//    in flight at a time — extra requests are coalesced (dropped), since a
-//    second check against the same model version answers the same question.
+// One service = N named streams (the paper's concurrent instruments:
+// tomography, CookieBox, Bragg/HEDM). Each stream is an independent
+// tenant — its own FairDS/collection/snapshot chain, ModelManager slice,
+// RetrainPolicy, retrain executor, and admission ledger — registered in a
+// StreamRegistry whose name->stream route is lock-free (see
+// stream_registry.hpp). Every user-plane DTO carries a `stream` id; an
+// empty id maps to kDefaultStreamName (what the legacy single-stream
+// constructor registers, and what wire-v1 peers resolve to).
 //
-// Lifetime: the FairDS (and anything a ModelManager points at) must outlive
-// the service. The destructor drains both planes.
+// Two planes per stream, shared worker pool:
+//  * User plane: submit() routes the request to its stream, enqueues it on
+//    the shared worker pool, and returns a std::future. Each request loads
+//    that stream's current immutable snapshot and runs lock-free against
+//    it. Admission is two-level: the per-stream bound
+//    (StreamConfig::max_pending) sheds a single saturated tenant without
+//    touching the others, then the service-wide bound
+//    (DataServiceConfig::max_pending) sheds when the whole facility is
+//    full. Both shed with an immediately-ready kShedOverload response —
+//    never by blocking the submitter. A request naming an unregistered
+//    stream is answered the same way with kUnknownStream (a structured
+//    status, not an abort).
+//  * System plane: each stream owns a dedicated single-thread retrain
+//    executor, so one tenant's retrain storm serializes behind its own
+//    executor and never queues in front of another tenant's checks. At
+//    most one check per stream is in flight (extras coalesce), and a
+//    service-wide cap (max_concurrent_retrains) bounds how many streams
+//    may retrain at once on a small host. The fig16 uncertainty trigger
+//    runs as a per-stream RetrainPolicy: after a label request completes,
+//    the policy's min-new-samples / cooldown gates decide whether to
+//    enqueue a certainty check at the policy's threshold.
+//
+// Lifetime: every registered FairDS (and anything a ModelManager points
+// at) must outlive the service. The destructor drains all planes.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <future>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "service/dtos.hpp"
+#include "service/stream_registry.hpp"
 #include "util/annotations.hpp"
 #include "util/mutex.hpp"
 #include "util/thread_pool.hpp"
@@ -41,102 +56,137 @@ struct DataServiceConfig {
   /// User-plane worker threads; 0 => max(2, hardware_concurrency) so even
   /// single-core hosts overlap request execution with client submission.
   std::size_t workers = 0;
-  /// When true, every completed label request also enqueues a background
-  /// certainty check on its input batch (coalesced to one in flight) — the
-  /// paper's Fig. 16 trigger, run as a serving-side policy instead of an
-  /// explicit caller step.
+  /// Legacy single-stream switch: when true, the one-stream constructor
+  /// registers its default stream with RetrainPolicy{.auto_trigger = true}
+  /// (threshold/cooldown/min-samples at their permissive defaults, exactly
+  /// the pre-policy behavior). Ignored by the multi-stream constructor —
+  /// pass per-stream policies through add_stream instead.
   bool auto_retrain = false;
-  /// Declared shard count of the data tier's sample collection; 0 => don't
-  /// care. When non-zero, construction checks it against the FairDS's
-  /// actual collection, failing loudly when a deployment assumed ingest
-  /// parallelism the store was not built with.
+  /// Declared shard count of the default stream's sample collection; 0 =>
+  /// don't care. Checked at registration against the FairDS's actual
+  /// collection, failing loudly when a deployment assumed ingest
+  /// parallelism the store was not built with. (Per-stream analogue:
+  /// StreamConfig::store_shards.)
   std::size_t store_shards = 0;
-  /// Declared storage engine of the data tier's sample collection ("mem" |
-  /// "log"); empty => don't care. Like store_shards, a non-empty value is
-  /// checked against the FairDS's actual collection at construction,
-  /// failing loudly when a deployment assumed durability the store was not
-  /// built with.
+  /// Declared storage engine of the default stream's collection ("mem" |
+  /// "log"); empty => don't care. Checked like store_shards.
   std::string storage_engine = "";
-  /// Re-budgets the model plane's parameter-blob/PDF cache at construction
+  /// Re-budgets the default stream's model-plane cache at registration
   /// (requires a ModelManager). 0 => leave the zoo's budget as configured.
-  /// Cache hit/miss/eviction counters surface through ServiceStats either
-  /// way.
   std::size_t model_cache_bytes = 0;
-  /// Admission control: bound on user-plane requests admitted but not yet
-  /// picked up by a worker. 0 => unbounded (the legacy behavior). When the
-  /// bound is reached, submit() sheds the request — it returns an
-  /// immediately-ready future whose response carries
-  /// ServeStatus::kShedOverload and a default payload — instead of
-  /// growing the backlog; the submitter is never blocked. Requests already
-  /// executing don't count against the bound, so total in-service work is
+  /// Service-wide admission bound: user-plane requests admitted (across
+  /// all streams) but not yet picked up by a worker. 0 => unbounded.
+  /// Requests already executing don't count, so total in-service work is
   /// at most `workers + max_pending`.
   std::size_t max_pending = 0;
+  /// Service-wide cap on streams retraining concurrently (each stream
+  /// already serializes its own checks). 0 => unbounded. A capped attempt
+  /// is counted (StreamStats::retrains_capped) and dropped, exactly like
+  /// a coalesced one — the next qualifying trigger retries.
+  std::size_t max_concurrent_retrains = 0;
 };
 
 class DataService {
  public:
-  /// `manager` is optional and only needed for RecommendRequest.
+  /// Legacy single-stream service: registers `ds` as kDefaultStreamName
+  /// with the config's declared-shards/engine/cache-budget checks and (when
+  /// auto_retrain) the permissive-default RetrainPolicy. `manager` is
+  /// optional and only needed for RecommendRequest.
   explicit DataService(fairds::FairDS& ds, DataServiceConfig config = {},
                        const fairms::ModelManager* manager = nullptr);
+  /// Multi-stream service: starts with an empty registry; add_stream()
+  /// tenants before (or while) serving.
+  explicit DataService(DataServiceConfig config);
   ~DataService();
 
   DataService(const DataService&) = delete;
   DataService& operator=(const DataService&) = delete;
 
-  // --- user plane ----------------------------------------------------------
+  // --- stream registry ------------------------------------------------------
+  /// Registers a tenant. False when the name is taken. Thread-safe against
+  /// concurrent submits (registration is copy-on-write; routing stays
+  /// lock-free).
+  bool add_stream(const std::string& name, fairds::FairDS& ds,
+                  StreamConfig config = {},
+                  const fairms::ModelManager* manager = nullptr);
+  /// Empty `name` is the default-stream alias, here and everywhere below.
+  [[nodiscard]] bool has_stream(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> stream_names() const;
+
+  // --- user plane -----------------------------------------------------------
   [[nodiscard]] std::future<LabelResponse> submit(LabelRequest request);
   [[nodiscard]] std::future<LookupResponse> submit(LookupRequest request);
   [[nodiscard]] std::future<RecommendResponse> submit(
       RecommendRequest request);
 
-  // --- system plane --------------------------------------------------------
+  // --- system plane ---------------------------------------------------------
   /// Enqueues an async certainty check (and retrain, if certainty is below
-  /// the FairDS threshold) on a copy of `xs`. Returns false when a check is
-  /// already in flight (the request is coalesced and `xs` is not copied).
-  /// Never blocks on training.
-  bool request_retrain(const Tensor& xs);
-  [[nodiscard]] bool retrain_in_flight() const {
-    return system_busy_.load(std::memory_order_acquire);
-  }
+  /// the stream's policy threshold — or its FairDS threshold when the
+  /// policy leaves it 0) on a copy of `xs`, on that stream's own executor.
+  /// Returns false when coalesced (a check is already in flight), capped
+  /// (max_concurrent_retrains reached), or the stream is unknown; `xs` is
+  /// not copied in any of those cases. Never blocks on training.
+  bool request_retrain(const std::string& stream, const Tensor& xs);
+  /// Default-stream shorthand (the legacy call sites).
+  bool request_retrain(const Tensor& xs) { return request_retrain("", xs); }
+  [[nodiscard]] bool retrain_in_flight() const;
+  [[nodiscard]] bool retrain_in_flight(const std::string& stream) const;
 
-  /// Blocks until both planes are idle (all submitted requests answered,
-  /// no retrain in flight).
+  /// Blocks until all planes are idle (all submitted requests answered,
+  /// no retrain in flight on any stream).
   void wait_idle();
 
+  /// Global aggregates (computed as sums over streams at read time, so
+  /// global == sum-over-streams holds by construction) plus the
+  /// per-stream breakdown in `streams`.
   [[nodiscard]] ServiceStats stats() const;
+  /// One stream's counters; default-constructed stats for an unknown name.
+  [[nodiscard]] StreamStats stream_stats(const std::string& stream) const;
   [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
 
-  /// The snapshot queries currently serve against (nullptr before the first
-  /// train). The wire front-end validates untrusted batch shapes against it
-  /// before a request can reach an invariant-checked service path.
+  /// The snapshot `stream`'s queries currently serve against (nullptr for
+  /// an unknown stream or before its first train). The wire front-end
+  /// validates untrusted batch shapes against the *target stream's*
+  /// snapshot before a request can reach an invariant-checked service
+  /// path — which is also what lets tenants serve different image sizes.
+  [[nodiscard]] std::shared_ptr<const fairds::Snapshot> snapshot(
+      const std::string& stream) const;
   [[nodiscard]] std::shared_ptr<const fairds::Snapshot> snapshot() const {
-    return ds_->snapshot();
+    return snapshot("");
   }
-  /// Whether RecommendRequest is servable (a ModelManager was attached).
-  [[nodiscard]] bool has_model_manager() const { return manager_ != nullptr; }
+  /// Whether RecommendRequest is servable on `stream` (a ModelManager was
+  /// attached at registration).
+  [[nodiscard]] bool has_model_manager(const std::string& stream) const;
+  [[nodiscard]] bool has_model_manager() const {
+    return has_model_manager("");
+  }
 
  private:
-  void record_request(double seconds) EXCLUDES(stats_mutex_);
-  /// Samples the pending-queue depth right after an admission and folds it
-  /// into the max_queue_depth high-water mark.
-  void note_admitted() EXCLUDES(stats_mutex_);
+  /// Two-level admission: reserve a per-stream pending slot (CAS against
+  /// the stream bound), false => per-stream shed.
+  static bool reserve_pending(Stream& stream);
+  /// High-water bookkeeping after a successful admission.
+  void note_admitted(Stream& stream);
+  /// The fig16 policy gate, evaluated after an answered label request.
+  void maybe_auto_retrain(const std::shared_ptr<Stream>& stream,
+                          const Tensor& xs);
+  bool request_retrain_on(const std::shared_ptr<Stream>& stream,
+                          const Tensor& xs);
 
-  fairds::FairDS* ds_;
   DataServiceConfig config_;
-  const fairms::ModelManager* manager_;
+  StreamRegistry registry_;
 
-  /// Ranked below the model cache: stats() reads the cache gauges while
-  /// holding this (kServiceStats < kModelCache keeps that order legal and
-  /// machine-checked), and queue_depth() is always read *before* taking it
-  /// so the pool's mutex never nests inside.
-  mutable util::Mutex stats_mutex_{util::LockRank::kServiceStats};
-  ServiceStats stats_ GUARDED_BY(stats_mutex_);
-  std::atomic<bool> system_busy_{false};
+  /// Streams currently running a retrain (the max_concurrent_retrains
+  /// ledger) and requests that named an unknown stream.
+  std::atomic<std::size_t> retrains_in_flight_{0};
+  std::atomic<std::uint64_t> unknown_stream_requests_{0};
+  /// Service-wide queue-depth high-water (sampled at each admission, like
+  /// the per-stream marks but over the shared pool's queue).
+  std::atomic<std::uint64_t> max_queue_depth_{0};
 
-  // Pools last: their destructors run first and drain queued tasks, which
+  // Pool last: its destructor runs first and drains queued tasks, which
   // may still touch the members above.
   util::ThreadPool workers_;
-  util::ThreadPool system_;
 };
 
 }  // namespace fairdms::service

@@ -12,6 +12,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "fairds/fairds.hpp"
 #include "fairms/zoo.hpp"
@@ -38,11 +39,18 @@ using tensor::Tensor;
 /// admits user-plane work (in-flight requests still complete and are
 /// flushed before the socket closes). Both carry default payloads; neither
 /// is ever produced by the in-process submit() path.
+///
+/// kUnknownStream means the request named a stream the service has not
+/// registered. It is a structured answer, not an abort: the in-process
+/// path returns an immediately-ready future carrying it, the wire path
+/// answers it on a connection that stays usable — a hostile or stale
+/// stream id can never crash the service or poison the connection.
 enum class ServeStatus : std::uint8_t {
   kOk = 0,
   kShedOverload = 1,
   kMalformedRequest = 2,
   kShuttingDown = 3,
+  kUnknownStream = 4,
 };
 
 [[nodiscard]] constexpr const char* to_string(ServeStatus status) {
@@ -55,9 +63,17 @@ enum class ServeStatus : std::uint8_t {
       return "malformed_request";
     case ServeStatus::kShuttingDown:
       return "shutting_down";
+    case ServeStatus::kUnknownStream:
+      return "unknown_stream";
   }
   return "unknown";
 }
+
+/// Name every user-plane request routes by when it leaves the `stream`
+/// field empty — the single stream the legacy one-stream constructor
+/// registers, and the stream v1 wire peers (whose frames carry no stream
+/// id at all) are mapped to.
+inline constexpr const char* kDefaultStreamName = "default";
 
 /// Per-sample label acquisition (the Fig. 9 reuse workload): reuse stored
 /// labels within `threshold` embedding distance, fall back to
@@ -68,6 +84,7 @@ struct LabelRequest {
   Tensor xs;  ///< [N, 1, S, S]
   double threshold = 0.5;
   std::function<Tensor(const Tensor&)> fallback_labeler;
+  std::string stream = {};  ///< target stream; empty => kDefaultStreamName
 };
 
 struct LabelResponse {
@@ -84,6 +101,7 @@ struct LabelResponse {
 struct LookupRequest {
   Tensor xs;  ///< [N, 1, S, S]
   std::uint64_t seed = 0;
+  std::string stream = {};  ///< target stream; empty => kDefaultStreamName
 };
 
 struct LookupResponse {
@@ -98,6 +116,14 @@ struct LookupResponse {
 struct RecommendRequest {
   std::string architecture;
   Tensor xs;  ///< [N, 1, S, S]
+  std::string stream = {};  ///< target stream; empty => kDefaultStreamName
+};
+
+/// System-plane drift probe (the wire kRetrain op): ask `stream`'s
+/// retrain executor to run a certainty check on `xs`.
+struct RetrainRequest {
+  Tensor xs;  ///< [N, 1, S, S]
+  std::string stream = {};  ///< target stream; empty => kDefaultStreamName
 };
 
 struct RecommendResponse {
@@ -108,12 +134,55 @@ struct RecommendResponse {
   double seconds = 0.0;
 };
 
+/// Per-stream serving counters (a snapshot copy; see DataService::stats).
+/// Every mutable ledger the service keeps is per-stream — the global
+/// aggregates in ServiceStats are computed by summation at read time, so
+/// the reconciliation invariant (global == sum over streams, per op, once
+/// idle) holds by construction and is pinned by tests/test_admission.
+struct StreamStats {
+  std::string stream;  ///< registry name (never empty)
+  std::uint64_t label_requests = 0;
+  std::uint64_t lookup_requests = 0;
+  std::uint64_t recommend_requests = 0;
+  std::uint64_t label_answered = 0;
+  std::uint64_t lookup_answered = 0;
+  std::uint64_t recommend_answered = 0;
+  std::uint64_t label_shed = 0;
+  std::uint64_t lookup_shed = 0;
+  std::uint64_t recommend_shed = 0;
+  /// Requests admitted to this stream but not yet picked up by a worker
+  /// (point-in-time gauge) and its high-water mark.
+  std::uint64_t queue_depth = 0;
+  std::uint64_t max_queue_depth = 0;
+  std::uint64_t max_pending = 0;  ///< per-stream bound (0 = global only)
+  std::uint64_t samples_labeled = 0;
+  std::uint64_t labels_reused = 0;
+  std::uint64_t labels_computed = 0;
+  double busy_seconds = 0.0;
+  double max_request_seconds = 0.0;
+  std::uint64_t retrain_checks = 0;
+  std::uint64_t retrains = 0;
+  std::uint64_t retrains_coalesced = 0;
+  /// Retrain attempts rejected by the service-wide concurrent-retrain cap
+  /// (DataServiceConfig::max_concurrent_retrains) — the stream keeps
+  /// serving, the check just does not run.
+  std::uint64_t retrains_capped = 0;
+  /// Auto-trigger evaluations suppressed because the stream's RetrainPolicy
+  /// cooldown had not elapsed since its last retrain.
+  std::uint64_t policy_cooldown_skips = 0;
+  std::uint64_t snapshot_version = 0;  ///< published model version
+  std::uint64_t store_shards = 0;      ///< this stream's collection shards
+};
+
 /// Aggregate serving counters (a snapshot copy; see DataService::stats).
 ///
 /// Admission accounting invariant (holds exactly once the service is idle;
 /// transiently `submitted >= answered + shed` while requests are in
 /// flight): for each op type, `*_requests == *_answered + *_shed`. The
 /// `*_requests` counters count every submit() call, accepted or not.
+/// Every per-op / retrain / labeling counter equals the sum of the same
+/// counter across `streams`; `unknown_stream_requests` is global-only
+/// (a request that named no stream belongs to none of them).
 struct ServiceStats {
   std::uint64_t label_requests = 0;
   std::uint64_t lookup_requests = 0;
@@ -143,12 +212,21 @@ struct ServiceStats {
   /// system plane's (pre-existing) admission control, surfaced so a
   /// retrain storm is visible in the stats instead of silent.
   std::uint64_t retrains_coalesced = 0;
-  std::uint64_t store_shards = 0;    ///< sample-collection shard count
+  std::uint64_t retrains_capped = 0;        ///< sum of per-stream cap hits
+  std::uint64_t policy_cooldown_skips = 0;  ///< sum over streams
+  /// submit()/request_retrain calls naming a stream the registry does not
+  /// know. Answered with ServeStatus::kUnknownStream, attributed to no
+  /// stream (so global per-op ledgers still reconcile with the sums).
+  std::uint64_t unknown_stream_requests = 0;
+  std::uint64_t store_shards = 0;    ///< default stream's shard count
   // fairMS model-plane cache counters (all zero without a ModelManager).
   std::uint64_t model_cache_hits = 0;
   std::uint64_t model_cache_misses = 0;
   std::uint64_t model_cache_evictions = 0;
   std::uint64_t model_cache_bytes = 0;  ///< resident bytes right now
+  /// Per-stream breakdown, sorted by stream name. Wire protocol v1 peers
+  /// receive the global aggregates only; v2 carries the full vector.
+  std::vector<StreamStats> streams;
 };
 
 }  // namespace fairdms::service

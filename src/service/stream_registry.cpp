@@ -1,0 +1,95 @@
+#include "service/stream_registry.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace fairdms::service {
+
+Stream::Stream(std::string name_in, fairds::FairDS& ds_in,
+               StreamConfig config_in, const fairms::ModelManager* manager_in)
+    : name(std::move(name_in)),
+      ds(&ds_in),
+      manager(manager_in),
+      config(std::move(config_in)) {
+  util::MutexLock lock(stats_mutex);
+  counters.stream = name;
+  counters.max_pending = config.max_pending;
+}
+
+StreamStats Stream::stats() const {
+  // Gauges first: snapshot()/store_shards() touch locks ranked below
+  // kServiceStats, so they must never be read while holding stats_mutex.
+  const std::uint64_t depth = pending.load(std::memory_order_acquire);
+  const std::uint64_t high_water =
+      max_pending_seen.load(std::memory_order_acquire);
+  const auto snap = ds->snapshot();
+  const std::uint64_t version = snap != nullptr ? snap->version() : 0;
+  const std::uint64_t shards = ds->store_shards();
+
+  util::MutexLock lock(stats_mutex);
+  StreamStats out = counters;
+  out.queue_depth = depth;
+  out.max_queue_depth = high_water;
+  out.max_pending = config.max_pending;
+  out.snapshot_version = version;
+  out.store_shards = shards;
+  return out;
+}
+
+StreamRegistry::StreamRegistry() {
+  map_.store(std::make_shared<const Map>(), std::memory_order_release);
+}
+
+bool StreamRegistry::add(const std::string& name, fairds::FairDS& ds,
+                         StreamConfig config,
+                         const fairms::ModelManager* manager) {
+  FAIRDMS_CHECK(!name.empty(),
+                "StreamRegistry: empty stream name (reserved as the "
+                "default-stream alias)");
+  FAIRDMS_CHECK(config.store_shards == 0 ||
+                    config.store_shards == ds.store_shards(),
+                "stream '", name, "': configured store_shards ",
+                config.store_shards, " != sample collection's ",
+                ds.store_shards());
+  FAIRDMS_CHECK(config.storage_engine.empty() ||
+                    config.storage_engine == ds.storage_engine(),
+                "stream '", name, "': configured storage_engine '",
+                config.storage_engine, "' != sample collection's '",
+                ds.storage_engine(), "'");
+  FAIRDMS_CHECK(config.model_cache_bytes == 0 || manager != nullptr,
+                "stream '", name,
+                "': model_cache_bytes configured without a ModelManager");
+  util::MutexLock lock(mutation_mutex_);
+  const auto current = map_.load(std::memory_order_acquire);
+  if (current->contains(name)) return false;
+  if (config.model_cache_bytes != 0) {
+    manager->zoo().cache().set_budget(config.model_cache_bytes);
+  }
+  auto next = std::make_shared<Map>(*current);
+  (*next)[name] =
+      std::make_shared<Stream>(name, ds, std::move(config), manager);
+  map_.store(std::move(next), std::memory_order_release);
+  return true;
+}
+
+std::shared_ptr<Stream> StreamRegistry::find(const std::string& name) const {
+  const auto map = map_.load(std::memory_order_acquire);
+  const auto it = map->find(name.empty() ? kDefaultStreamName : name);
+  return it != map->end() ? it->second : nullptr;
+}
+
+std::vector<std::shared_ptr<Stream>> StreamRegistry::all() const {
+  const auto map = map_.load(std::memory_order_acquire);
+  std::vector<std::shared_ptr<Stream>> out;
+  out.reserve(map->size());
+  for (const auto& [_, stream] : *map) out.push_back(stream);
+  return out;  // std::map iteration is already name-sorted
+}
+
+std::size_t StreamRegistry::size() const {
+  return map_.load(std::memory_order_acquire)->size();
+}
+
+}  // namespace fairdms::service

@@ -32,7 +32,8 @@ enum class LockRank : int {
   kStoreMap = 30,      ///< store::DocStore::mutex_ (collection map)
   kStoreShard = 40,    ///< store::Collection::Shard::mutex
   kThreadPool = 50,    ///< util::ThreadPool::mutex_
-  kServiceStats = 60,  ///< service::DataService::stats_mutex_
+  kStreamRegistry = 55,  ///< service::StreamRegistry::mutation_mutex_
+  kServiceStats = 60,  ///< service per-stream stats mutexes
   kModelCache = 70,    ///< fairms::ModelCache::mutex_
   kWorkflow = 80,      ///< workflow::FuncXRegistry / TransferService
   kDataLoader = 82,    ///< store::DataLoader::mutex_

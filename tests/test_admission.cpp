@@ -364,5 +364,93 @@ TEST_F(AdmissionFixture, RetrainCoalescingIsCounted) {
   if (!second) EXPECT_EQ(stats.retrains_coalesced, 1u);
 }
 
+// The multi-stream reconciliation invariant: every global aggregate in
+// ServiceStats equals the sum of the corresponding per-stream ledger —
+// including after a mixed outcome (one tenant shedding on its own bound,
+// the other answering, retrain activity on both planes). A drifting global
+// counter here would mean some path updated one ledger but not the other.
+TEST_F(AdmissionFixture, GlobalStatsReconcileWithPerStreamLedgers) {
+  auto config_b = small_config();
+  config_b.seed = 78;
+  config_b.collection = "fairds_samples_b";  // own collection in shared db_
+  fairds::FairDS ds_b(config_b, db_);
+  ds_b.train_system(history_.xs);
+  ds_b.ingest(history_.xs, history_.ys, "history_b");
+
+  service::DataService service({.workers = 1});
+  service::StreamConfig bounded;
+  bounded.max_pending = 1;
+  ASSERT_TRUE(service.add_stream("a", *ds_, bounded));
+  ASSERT_TRUE(service.add_stream("b", ds_b, {}));
+
+  // Wedge the worker inside a stream-a request, then drive both tenants to
+  // different outcomes: a sheds on its bound, b queues freely.
+  WorkerGate gate;
+  auto wedge = service.submit(
+      service::LabelRequest{query_.xs, -1.0, gated_labeler(gate), "a"});
+  gate.wait_entered();
+  std::vector<std::future<service::LabelResponse>> labels;
+  for (int i = 0; i < 3; ++i) {
+    labels.push_back(service.submit(
+        service::LabelRequest{query_.xs, 1e9, fast_labeler(), "a"}));
+  }
+  auto lookup_b = service.submit(service::LookupRequest{query_.xs, 11, "b"});
+  auto label_b = service.submit(
+      service::LabelRequest{query_.xs, 1e9, fast_labeler(), "b"});
+  ASSERT_TRUE(service.request_retrain("b", regime_data(1.5, 48, 504).xs));
+  gate.open();
+  EXPECT_EQ(wedge.get().status, service::ServeStatus::kOk);
+  EXPECT_EQ(lookup_b.get().status, service::ServeStatus::kOk);
+  EXPECT_EQ(label_b.get().status, service::ServeStatus::kOk);
+  service.wait_idle();
+
+  const auto stats = service.stats();
+  ASSERT_EQ(stats.streams.size(), 2u);
+  service::StreamStats sum;
+  for (const auto& s : stats.streams) {
+    sum.label_requests += s.label_requests;
+    sum.label_answered += s.label_answered;
+    sum.label_shed += s.label_shed;
+    sum.lookup_requests += s.lookup_requests;
+    sum.lookup_answered += s.lookup_answered;
+    sum.lookup_shed += s.lookup_shed;
+    sum.recommend_requests += s.recommend_requests;
+    sum.recommend_answered += s.recommend_answered;
+    sum.recommend_shed += s.recommend_shed;
+    sum.samples_labeled += s.samples_labeled;
+    sum.labels_reused += s.labels_reused;
+    sum.labels_computed += s.labels_computed;
+    sum.retrain_checks += s.retrain_checks;
+    sum.retrains += s.retrains;
+    sum.retrains_coalesced += s.retrains_coalesced;
+    sum.retrains_capped += s.retrains_capped;
+    sum.policy_cooldown_skips += s.policy_cooldown_skips;
+  }
+  EXPECT_EQ(stats.label_requests, sum.label_requests);
+  EXPECT_EQ(stats.label_answered, sum.label_answered);
+  EXPECT_EQ(stats.label_shed, sum.label_shed);
+  EXPECT_EQ(stats.lookup_requests, sum.lookup_requests);
+  EXPECT_EQ(stats.lookup_answered, sum.lookup_answered);
+  EXPECT_EQ(stats.lookup_shed, sum.lookup_shed);
+  EXPECT_EQ(stats.recommend_requests, sum.recommend_requests);
+  EXPECT_EQ(stats.recommend_answered, sum.recommend_answered);
+  EXPECT_EQ(stats.recommend_shed, sum.recommend_shed);
+  EXPECT_EQ(stats.samples_labeled, sum.samples_labeled);
+  EXPECT_EQ(stats.labels_reused, sum.labels_reused);
+  EXPECT_EQ(stats.labels_computed, sum.labels_computed);
+  EXPECT_EQ(stats.retrain_checks, sum.retrain_checks);
+  EXPECT_EQ(stats.retrains, sum.retrains);
+  EXPECT_EQ(stats.retrains_coalesced, sum.retrains_coalesced);
+  EXPECT_EQ(stats.retrains_capped, sum.retrains_capped);
+  EXPECT_EQ(stats.policy_cooldown_skips, sum.policy_cooldown_skips);
+
+  // And the scenario actually exercised both sides of the ledger.
+  EXPECT_EQ(stats.label_requests, 5u);
+  EXPECT_GE(stats.label_shed, 1u);
+  EXPECT_EQ(stats.lookup_answered, 1u);
+  EXPECT_EQ(stats.retrain_checks, 1u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
 }  // namespace
 }  // namespace fairdms

@@ -260,7 +260,7 @@ TEST(WireCodec, DecodersRejectTruncationAndTrailingGarbage) {
 }
 
 TEST(WireCodec, TensorDecodeRejectsAbsurdShapes) {
-  Tensor out;
+  service::RetrainRequest out;
   {
     net::WireWriter w;  // rank over the cap
     w.u32(9);
@@ -282,6 +282,120 @@ TEST(WireCodec, TensorDecodeRejectsAbsurdShapes) {
   }
 }
 
+TEST(WireCodec, V2StreamFieldRoundTripsAndV1StaysByteIdentical) {
+  util::Rng rng(13);
+  service::LabelRequest req{random_tensor(rng, {3, 1, 15, 15}), 0.7, nullptr,
+                            "cookiebox"};
+
+  // v2 carries the stream id...
+  service::LabelRequest out;
+  ASSERT_TRUE(net::decode_label_request(net::encode_label_request(req, 2),
+                                        &out, 2));
+  EXPECT_EQ(out.stream, "cookiebox");
+
+  // ...v1 encodes without it (and decodes to the default-stream alias), and
+  // the v1 body is a byte-identical prefix of the v2 body.
+  const net::Bytes v1 = net::encode_label_request(req, 1);
+  const net::Bytes v2 = net::encode_label_request(req, 2);
+  ASSERT_LT(v1.size(), v2.size());
+  EXPECT_EQ(0, std::memcmp(v1.data(), v2.data(), v1.size()));
+  ASSERT_TRUE(net::decode_label_request(v1, &out, 1));
+  EXPECT_TRUE(out.stream.empty());
+
+  // Version mismatches between codec halves are malformed, not misread:
+  // a v1 decoder must not accept the longer v2 body, and a v2 decoder must
+  // not accept the stream-less v1 body.
+  EXPECT_FALSE(net::decode_label_request(v2, &out, 1));
+  EXPECT_FALSE(net::decode_label_request(v1, &out, 2));
+
+  service::LookupRequest lookup{random_tensor(rng, {2, 1, 15, 15}), 9,
+                                "tomo"};
+  service::LookupRequest lookup_out;
+  ASSERT_TRUE(net::decode_lookup_request(
+      net::encode_lookup_request(lookup, 2), &lookup_out, 2));
+  EXPECT_EQ(lookup_out.stream, "tomo");
+
+  service::RecommendRequest rec{"braggnn", random_tensor(rng, {2, 1, 15, 15}),
+                                "bragg"};
+  service::RecommendRequest rec_out;
+  ASSERT_TRUE(net::decode_recommend_request(
+      net::encode_recommend_request(rec, 2), &rec_out, 2));
+  EXPECT_EQ(rec_out.architecture, "braggnn");
+  EXPECT_EQ(rec_out.stream, "bragg");
+
+  service::RetrainRequest retrain{random_tensor(rng, {2, 1, 15, 15}),
+                                  "bragg"};
+  service::RetrainRequest retrain_out;
+  ASSERT_TRUE(net::decode_retrain_request(
+      net::encode_retrain_request(retrain, 2), &retrain_out, 2));
+  EXPECT_EQ(retrain_out.stream, "bragg");
+}
+
+TEST(WireCodec, StatsV2CarriesPerStreamBlocksV1AggregatesOnly) {
+  service::ServiceStats s;
+  s.label_requests = 10;
+  s.label_answered = 8;
+  s.label_shed = 2;
+  s.retrains_capped = 3;
+  s.policy_cooldown_skips = 4;
+  s.unknown_stream_requests = 5;
+  for (const char* name : {"bragg", "cookiebox"}) {
+    service::StreamStats ss;
+    ss.stream = name;
+    std::uint64_t next = name[0];  // distinct per stream and field
+    for (std::uint64_t* field :
+         {&ss.label_requests, &ss.lookup_requests, &ss.recommend_requests,
+          &ss.label_answered, &ss.lookup_answered, &ss.recommend_answered,
+          &ss.label_shed, &ss.lookup_shed, &ss.recommend_shed,
+          &ss.queue_depth, &ss.max_queue_depth, &ss.max_pending,
+          &ss.samples_labeled, &ss.labels_reused, &ss.labels_computed,
+          &ss.retrain_checks, &ss.retrains, &ss.retrains_coalesced,
+          &ss.retrains_capped, &ss.policy_cooldown_skips,
+          &ss.snapshot_version, &ss.store_shards}) {
+      *field = next++;
+    }
+    ss.busy_seconds = 1.5;
+    ss.max_request_seconds = 0.25;
+    s.streams.push_back(std::move(ss));
+  }
+
+  service::ServiceStats v2;
+  ASSERT_TRUE(net::decode_stats_response(net::encode_stats_response(s, 2),
+                                         &v2, 2));
+  EXPECT_EQ(v2.retrains_capped, 3u);
+  EXPECT_EQ(v2.policy_cooldown_skips, 4u);
+  EXPECT_EQ(v2.unknown_stream_requests, 5u);
+  ASSERT_EQ(v2.streams.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const service::StreamStats& a = s.streams[i];
+    const service::StreamStats& b = v2.streams[i];
+    EXPECT_EQ(a.stream, b.stream);
+    EXPECT_EQ(a.label_requests, b.label_requests);
+    EXPECT_EQ(a.lookup_answered, b.lookup_answered);
+    EXPECT_EQ(a.recommend_shed, b.recommend_shed);
+    EXPECT_EQ(a.max_pending, b.max_pending);
+    EXPECT_EQ(a.labels_computed, b.labels_computed);
+    EXPECT_EQ(a.busy_seconds, b.busy_seconds);
+    EXPECT_EQ(a.max_request_seconds, b.max_request_seconds);
+    EXPECT_EQ(a.retrains_capped, b.retrains_capped);
+    EXPECT_EQ(a.policy_cooldown_skips, b.policy_cooldown_skips);
+    EXPECT_EQ(a.snapshot_version, b.snapshot_version);
+    EXPECT_EQ(a.store_shards, b.store_shards);
+  }
+
+  // A v1 peer gets the 25-field aggregate body: decodes cleanly, carries no
+  // per-stream blocks, and is a byte-identical prefix of the v2 body.
+  const net::Bytes v1_bytes = net::encode_stats_response(s, 1);
+  const net::Bytes v2_bytes = net::encode_stats_response(s, 2);
+  ASSERT_LT(v1_bytes.size(), v2_bytes.size());
+  EXPECT_EQ(0, std::memcmp(v1_bytes.data(), v2_bytes.data(), v1_bytes.size()));
+  service::ServiceStats v1_stats;
+  ASSERT_TRUE(net::decode_stats_response(v1_bytes, &v1_stats, 1));
+  EXPECT_EQ(v1_stats.label_requests, 10u);
+  EXPECT_TRUE(v1_stats.streams.empty());
+  EXPECT_EQ(v1_stats.unknown_stream_requests, 0u);
+}
+
 TEST(WireCodec, StatusAndOpNamesAreExhaustive) {
   EXPECT_STREQ(service::to_string(service::ServeStatus::kOk), "ok");
   EXPECT_STREQ(service::to_string(service::ServeStatus::kShedOverload),
@@ -290,6 +404,8 @@ TEST(WireCodec, StatusAndOpNamesAreExhaustive) {
                "malformed_request");
   EXPECT_STREQ(service::to_string(service::ServeStatus::kShuttingDown),
                "shutting_down");
+  EXPECT_STREQ(service::to_string(service::ServeStatus::kUnknownStream),
+               "unknown_stream");
   EXPECT_STREQ(net::to_string(net::Op::kHello), "hello");
   EXPECT_STREQ(net::to_string(net::Op::kStats), "stats");
   EXPECT_STREQ(net::to_string(static_cast<net::Op>(250)), "unknown");
@@ -692,6 +808,100 @@ TEST_F(NetFixture, ConcurrentClientsStressTheFrontEnd) {
   EXPECT_EQ(stats.lookup_requests,
             stats.lookup_answered + stats.lookup_shed);
   EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+// --- protocol v2: version negotiation + stream routing ----------------------
+
+TEST_F(NetFixture, V1ClientInteroperatesWithV2Server) {
+  auto served = serve({.workers = 2});
+  net::Client v1_client(/*version=*/1);
+  ASSERT_TRUE(v1_client.connect("127.0.0.1", served.server->port()));
+  // The hello ack is min(client, server): the server committed to v1.
+  EXPECT_EQ(v1_client.server_limits().version, 1u);
+
+  // Every op round-trips in the v1 layout; stream-less frames route to the
+  // default stream, exactly like an in-process request with an empty id.
+  const nn::Batchset query = regime_data(0.0, 6, 401);
+  const auto label = v1_client.label({query.xs, 1e9, nullptr});
+  ASSERT_TRUE(label.has_value());
+  EXPECT_EQ(label->status, service::ServeStatus::kOk);
+  EXPECT_EQ(label->batch.ys.dim(0), query.xs.dim(0));
+
+  const auto lookup = v1_client.lookup({query.xs, 5});
+  ASSERT_TRUE(lookup.has_value());
+  EXPECT_EQ(lookup->status, service::ServeStatus::kOk);
+
+  const auto recommend = v1_client.recommend({"braggnn", query.xs});
+  ASSERT_TRUE(recommend.has_value());
+  EXPECT_EQ(recommend->status, service::ServeStatus::kOk);
+
+  const auto accepted = v1_client.request_retrain(query.xs);
+  ASSERT_TRUE(accepted.has_value());
+  EXPECT_TRUE(*accepted);
+  served.service->wait_idle();
+
+  // The v1 stats body carries the aggregates only — and they reflect the
+  // work this client just did, proving the requests hit the real service.
+  const auto stats = v1_client.stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->label_requests, 1u);
+  EXPECT_EQ(stats->lookup_requests, 1u);
+  EXPECT_EQ(stats->recommend_requests, 1u);
+  EXPECT_EQ(stats->retrain_checks, 1u);
+  EXPECT_TRUE(stats->streams.empty());
+
+  // A v2 client on the same server sees the same ledger with the
+  // per-stream breakdown attached (the default stream owns all of it).
+  net::Client v2_client;
+  ASSERT_TRUE(v2_client.connect("127.0.0.1", served.server->port()));
+  const auto stats2 = v2_client.stats();
+  ASSERT_TRUE(stats2.has_value());
+  ASSERT_EQ(stats2->streams.size(), 1u);
+  EXPECT_EQ(stats2->streams[0].stream, service::kDefaultStreamName);
+  EXPECT_EQ(stats2->streams[0].label_requests, stats->label_requests);
+  EXPECT_EQ(stats2->streams[0].retrain_checks, stats->retrain_checks);
+}
+
+TEST_F(NetFixture, UnknownStreamAnsweredStructurallyConnectionUsable) {
+  auto served = serve({.workers = 2});
+  net::Client client;
+  ASSERT_TRUE(client.connect("127.0.0.1", served.server->port()));
+  const nn::Batchset query = regime_data(0.0, 4, 402);
+
+  // A hostile/stale stream id on every user-plane op: answered with the
+  // structured status, never an abort or a dropped connection.
+  const auto label = client.label({query.xs, 1e9, nullptr, "no-such"});
+  ASSERT_TRUE(label.has_value());
+  EXPECT_EQ(label->status, service::ServeStatus::kUnknownStream);
+
+  const auto lookup = client.lookup({query.xs, 3, "no-such"});
+  ASSERT_TRUE(lookup.has_value());
+  EXPECT_EQ(lookup->status, service::ServeStatus::kUnknownStream);
+
+  const auto recommend = client.recommend({"braggnn", query.xs, "no-such"});
+  ASSERT_TRUE(recommend.has_value());
+  EXPECT_EQ(recommend->status, service::ServeStatus::kUnknownStream);
+
+  service::ServeStatus retrain_status = service::ServeStatus::kOk;
+  const auto accepted = client.request_retrain(
+      service::RetrainRequest{query.xs, "no-such"}, &retrain_status);
+  ASSERT_TRUE(accepted.has_value());
+  EXPECT_FALSE(*accepted);
+  EXPECT_EQ(retrain_status, service::ServeStatus::kUnknownStream);
+
+  // The same connection keeps serving: stats, then a valid request. The
+  // wire front-end resolves the stream before the service ever sees the
+  // request, so the unknown-stream ledger lives in the server counters
+  // (below), not in ServiceStats (that one counts in-process submits).
+  const auto stats = client.stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->unknown_stream_requests, 0u);
+  const auto ok = client.label({query.xs, 1e9, nullptr});
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->status, service::ServeStatus::kOk);
+
+  EXPECT_GE(served.server->counters().unknown_stream_responses, 4u);
+  EXPECT_EQ(served.server->counters().malformed_frames, 0u);
 }
 
 }  // namespace
